@@ -1,0 +1,63 @@
+"""E9 — The Section 1.1 example: expansion vs conductance vs mixing time.
+
+Paper claim: take a constant-degree expander and the graph formed by two
+n/2-cliques joined by an edge.  Both have edge expansion at least a constant,
+but the clique-pair's conductance is O(1/n), so its (lazy random walk) mixing
+time is polynomial while the expander's is logarithmic.  This is the paper's
+argument for why the Cheeger constant / lambda_2, not just edge expansion, is
+the right spectral target.
+
+Measured here: h, phi, lambda_2 (normalized) and the spectral mixing-time
+estimate for both graphs at increasing sizes.
+"""
+
+from __future__ import annotations
+
+from repro.harness.reporting import print_table
+from repro.harness.workloads import random_regular_workload, two_cliques_workload
+from repro.spectral.cheeger import cheeger_constant
+from repro.spectral.expansion import edge_expansion
+from repro.spectral.laplacian import normalized_laplacian_second_eigenvalue
+from repro.spectral.mixing import spectral_mixing_time
+
+
+def cheeger_example_rows():
+    rows = []
+    for n in (16, 32, 64):
+        expander = random_regular_workload(n, 6, seed=1)
+        cliques = two_cliques_workload(n)
+        for name, graph in (("expander d=6", expander), ("two-cliques", cliques)):
+            rows.append(
+                {
+                    "n": n,
+                    "graph": name,
+                    "h": round(edge_expansion(graph, exact_limit=0), 3),
+                    "phi": round(cheeger_constant(graph, exact_limit=0), 4),
+                    "lambda2(norm)": round(normalized_laplacian_second_eigenvalue(graph), 4),
+                    "t_mix estimate": round(spectral_mixing_time(graph), 1),
+                }
+            )
+    return rows
+
+
+def test_cheeger_example(run_once):
+    rows = run_once(cheeger_example_rows)
+    print()
+    print_table(rows, title="E9  Expansion vs conductance (Section 1.1 example)")
+    by_key = {(row["n"], row["graph"]): row for row in rows}
+    for n in (16, 32, 64):
+        expander = by_key[(n, "expander d=6")]
+        cliques = by_key[(n, "two-cliques")]
+        # Both have constant-ish edge expansion...
+        assert expander["h"] >= 1.0
+        assert cliques["h"] >= 0.5
+        # ...but the clique-pair's conductance falls below the expander's and it mixes slower.
+        assert cliques["phi"] < expander["phi"]
+        assert cliques["t_mix estimate"] > expander["t_mix estimate"]
+    # The O(1/n) collapse: quadrupling n at least halves the clique-pair's
+    # conductance, while the expander's stays a constant.
+    assert by_key[(64, "two-cliques")]["phi"] < by_key[(16, "two-cliques")]["phi"] / 2
+    assert by_key[(64, "expander d=6")]["phi"] > by_key[(16, "expander d=6")]["phi"] / 2
+    # The conductance gap (and mixing-time gap) widens with n.
+    assert by_key[(64, "two-cliques")]["phi"] < by_key[(16, "two-cliques")]["phi"]
+    assert by_key[(64, "two-cliques")]["t_mix estimate"] > by_key[(16, "two-cliques")]["t_mix estimate"]

@@ -1,0 +1,86 @@
+"""E1 — Theorem 2(1): degree increase is bounded by kappa * d' + 2 kappa.
+
+Paper claim: for every node x, ``degree(x, G_t) <= kappa * degree(x, G'_t)``
+plus an additive ``2 kappa`` (one bridge duty + one share, Lemma 3).
+
+Measured here: the worst per-node degree ratio and the worst additive excess
+over several topologies and adversaries, for kappa in {4, 8}, plus the same
+numbers for the clique-cloud ablation (which deliberately has no degree
+discipline) to show the bound is not vacuous.
+"""
+
+from __future__ import annotations
+
+from repro.adversary import DeletionOnlyAdversary, MaxDegreeAdversary
+from repro.analysis.invariants import check_degree_invariant
+from repro.core.ablations import XhealCliqueClouds
+from repro.core.ghost import GhostGraph
+from repro.core.xheal import Xheal
+from repro.harness.reporting import print_table
+from repro.harness.workloads import power_law_workload, random_regular_workload
+
+
+def _run_case(healer, graph, adversary, steps):
+    healer.initialize(graph)
+    ghost = GhostGraph(graph)
+    adversary.bind(graph)
+    for timestep in range(steps):
+        event = adversary.next_event(healer.graph, timestep)
+        if event is None:
+            break
+        if event.is_deletion:
+            ghost.record_deletion(event.node)
+            healer.handle_deletion(event.node)
+        else:
+            ghost.record_insertion(event.node, event.neighbors)
+            healer.handle_insertion(event.node, event.neighbors)
+    return healer, ghost
+
+
+def degree_bound_rows():
+    rows = []
+    cases = [
+        ("random-regular", random_regular_workload(60, 4, seed=1), DeletionOnlyAdversary(seed=2)),
+        ("random-regular", random_regular_workload(60, 4, seed=1), MaxDegreeAdversary(seed=3)),
+        ("power-law", power_law_workload(60, 2, seed=4), MaxDegreeAdversary(seed=5)),
+    ]
+    for kappa in (4, 8):
+        for name, graph, adversary in cases:
+            healer, ghost = _run_case(Xheal(kappa=kappa, seed=7), graph.copy(), adversary, steps=30)
+            result = check_degree_invariant(healer.graph, ghost, kappa=kappa)
+            rows.append(
+                {
+                    "healer": f"xheal(k={kappa})",
+                    "workload": name,
+                    "adversary": adversary.name,
+                    "worst_ratio": round(result.worst_ratio, 2),
+                    "bound_ratio": f"<= {kappa} (+{2 * kappa} additive)",
+                    "violations": len(result.violations),
+                    "holds": result.holds,
+                }
+            )
+    # Ablation: clique clouds have no kappa discipline and break the bound.
+    graph = random_regular_workload(60, 4, seed=1)
+    healer, ghost = _run_case(XhealCliqueClouds(kappa=4, seed=7), graph, MaxDegreeAdversary(seed=3), 30)
+    result = check_degree_invariant(healer.graph, ghost, kappa=4)
+    rows.append(
+        {
+            "healer": "xheal-clique-clouds",
+            "workload": "random-regular",
+            "adversary": "max-degree",
+            "worst_ratio": round(result.worst_ratio, 2),
+            "bound_ratio": "(no discipline)",
+            "violations": len(result.violations),
+            "holds": result.holds,
+        }
+    )
+    return rows
+
+
+def test_degree_bound(run_once):
+    rows = run_once(degree_bound_rows)
+    print()
+    print_table(rows, title="E1  Theorem 2(1): degree increase bound")
+    xheal_rows = [row for row in rows if row["healer"].startswith("xheal(")]
+    assert all(row["holds"] for row in xheal_rows)
+    assert all(row["violations"] == 0 for row in xheal_rows)

@@ -1,0 +1,70 @@
+"""E5 — Corollary 1: if G'_t is a bounded-degree expander, so is G_t.
+
+Paper claim: the healed graph of an expander remains an expander, i.e. its
+expansion and spectral gap stay bounded away from zero no matter how many
+adversarial deletions occur.
+
+Measured here: the time series of h(G_t) and lambda(G_t) while 30% of a
+bounded-degree expander's nodes are deleted, compared against the same series
+for the Forgiving Tree baseline (whose expansion degrades — the contrast the
+paper draws with [PODC'08/'09]).
+"""
+
+from __future__ import annotations
+
+from repro.adversary import DeletionOnlyAdversary
+from repro.baselines import ForgivingTreeHeal
+from repro.core.ghost import GhostGraph
+from repro.core.xheal import Xheal
+from repro.harness.reporting import format_series, print_table
+from repro.harness.workloads import random_regular_workload
+from repro.spectral.expansion import edge_expansion
+from repro.spectral.laplacian import algebraic_connectivity
+
+
+def _series(healer_factory, steps=24, every=6):
+    graph = random_regular_workload(60, 6, seed=9)
+    healer = healer_factory()
+    healer.initialize(graph)
+    ghost = GhostGraph(graph)
+    adversary = DeletionOnlyAdversary(seed=4)
+    adversary.bind(graph)
+    checkpoints = []
+    for timestep in range(1, steps + 1):
+        event = adversary.next_event(healer.graph, timestep)
+        if event is None:
+            break
+        ghost.record_deletion(event.node)
+        healer.handle_deletion(event.node)
+        if timestep % every == 0 or timestep == steps:
+            checkpoints.append(
+                {
+                    "deleted": timestep,
+                    "h(Gt)": round(edge_expansion(healer.graph, exact_limit=0), 3),
+                    "lambda(Gt)": round(algebraic_connectivity(healer.graph), 3),
+                }
+            )
+    return healer.name, checkpoints
+
+
+def expander_preservation_series():
+    return [
+        _series(lambda: Xheal(kappa=6, seed=1)),
+        _series(lambda: ForgivingTreeHeal(seed=1)),
+    ]
+
+
+def test_expander_preservation(run_once):
+    results = run_once(expander_preservation_series)
+    print()
+    for name, checkpoints in results:
+        rows = [{"healer": name, **checkpoint} for checkpoint in checkpoints]
+        print_table(rows, title=f"E5  Corollary 1 series ({name})")
+    xheal_series = dict(results)["xheal"]
+    tree_series = dict(results)["forgiving-tree"]
+    # Xheal keeps the expander property (expansion and lambda bounded away from 0)...
+    assert all(point["h(Gt)"] >= 0.8 for point in xheal_series)
+    assert all(point["lambda(Gt)"] >= 0.3 for point in xheal_series)
+    # ...and ends up clearly better than the tree-based healer.
+    assert xheal_series[-1]["h(Gt)"] > tree_series[-1]["h(Gt)"]
+    assert xheal_series[-1]["lambda(Gt)"] > tree_series[-1]["lambda(Gt)"]

@@ -1,0 +1,47 @@
+"""Micro-benchmark — raw healing throughput of the library itself.
+
+Not a paper experiment: this measures how fast the implementation processes
+adversarial deletions (repairs per second) at a few network sizes, and how
+expensive the spectral verification layer is relative to healing.  Useful for
+sizing the larger reproduction runs and catching performance regressions.
+"""
+
+from __future__ import annotations
+
+from repro.adversary import DeletionOnlyAdversary
+from repro.core.ghost import GhostGraph
+from repro.core.xheal import Xheal
+from repro.harness.workloads import random_regular_workload
+from repro.spectral.expansion import edge_expansion
+
+
+def _heal_run(n, steps):
+    graph = random_regular_workload(n, 4, seed=1)
+    healer = Xheal(kappa=4, seed=2)
+    healer.initialize(graph)
+    ghost = GhostGraph(graph)
+    adversary = DeletionOnlyAdversary(seed=3)
+    adversary.bind(graph)
+    for timestep in range(steps):
+        event = adversary.next_event(healer.graph, timestep)
+        if event is None:
+            break
+        ghost.record_deletion(event.node)
+        healer.handle_deletion(event.node)
+    return healer
+
+
+def test_healing_throughput_small(benchmark):
+    healer = benchmark(lambda: _heal_run(60, 20))
+    assert healer.graph.number_of_nodes() == 40
+
+
+def test_healing_throughput_medium(benchmark):
+    healer = benchmark.pedantic(lambda: _heal_run(200, 50), rounds=1, iterations=1)
+    assert healer.graph.number_of_nodes() == 150
+
+
+def test_expansion_measurement_cost(benchmark):
+    graph = random_regular_workload(120, 4, seed=4)
+    value = benchmark(lambda: edge_expansion(graph, exact_limit=0, samples=32))
+    assert value >= 0.0

@@ -1,0 +1,81 @@
+"""E8 — Law-Siu Theorems 3-4: random H-graphs are expanders w.h.p. and stay so under churn.
+
+Paper claims (quoted as Theorems 3 and 4):
+* a random n-node 2d-regular H-graph has edge expansion Omega(d) with
+  probability at least 1 - O(n^-p),
+* the class is closed under the incremental INSERT/DELETE operations.
+
+Measured here: the empirical success fraction and mean expansion over repeated
+random constructions for several (n, d), and the expansion of an H-graph after
+a long insert/delete churn sequence.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.expanders.hgraph import HGraph
+from repro.expanders.verification import empirical_expansion_profile
+from repro.harness.reporting import print_table
+from repro.spectral.expansion import edge_expansion
+from repro.util.rng import SeededRng
+
+
+def profile_rows():
+    rows = []
+    for n in (16, 32, 64):
+        for d in (2, 4):
+            profile = empirical_expansion_profile(
+                n=n, d=d, trials=10, threshold=d / 2.0, base_seed=7, exact_limit=16
+            )
+            rows.append(
+                {
+                    "n": n,
+                    "d": d,
+                    "trials": profile.trials,
+                    "threshold (Omega(d) proxy)": profile.threshold,
+                    "success_fraction": round(profile.success_fraction, 2),
+                    "min h": round(profile.min_expansion, 3),
+                    "mean h": round(profile.mean_expansion, 3),
+                    "mean lambda2": round(profile.mean_lambda2, 3),
+                }
+            )
+    return rows
+
+
+def churn_row():
+    rng = SeededRng(3)
+    hgraph = HGraph(range(30), d=3, rng=rng)
+    next_id = 1000
+    for step in range(200):
+        if rng.coin(0.5) and len(hgraph) > 10:
+            hgraph.delete(rng.choice(sorted(hgraph.nodes())))
+        else:
+            hgraph.insert(next_id)
+            next_id += 1
+    graph = hgraph.to_graph()
+    return {
+        "n_after_churn": len(hgraph),
+        "churn_ops": 200,
+        "h after churn": round(edge_expansion(graph, exact_limit=0), 3),
+        "connected": nx.is_connected(graph),
+    }
+
+
+def test_hgraph_expansion(run_once):
+    rows = run_once(profile_rows)
+    print()
+    print_table(rows, title="E8  Law-Siu H-graphs: expansion w.h.p.")
+    churn = churn_row()
+    print_table([churn], title="E8b H-graph after 200 insert/delete operations")
+    # d=4 constructions clear the Omega(d) proxy threshold in the large majority of trials
+    # (the estimator only reports an upper bound on h, so this undercounts successes).
+    d4 = [row for row in rows if row["d"] == 4]
+    assert all(row["success_fraction"] >= 0.6 for row in d4)
+    # Expansion grows with d for fixed n.
+    for n in (16, 32, 64):
+        low = next(row for row in rows if row["n"] == n and row["d"] == 2)
+        high = next(row for row in rows if row["n"] == n and row["d"] == 4)
+        assert high["mean h"] > low["mean h"]
+    assert churn["connected"]
+    assert churn["h after churn"] >= 1.0

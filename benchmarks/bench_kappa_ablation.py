@@ -1,0 +1,70 @@
+"""Ablation — the effect of kappa (expander-cloud degree) on the guarantees.
+
+DESIGN.md calls kappa the main implementation-dependent parameter: the paper
+allows it to be a constant or Theta(log n).  Larger kappa gives denser clouds
+(better expansion per cloud, higher w.h.p. confidence for the H-graph) at the
+cost of a proportionally larger degree increase and message volume.
+
+Measured here: final expansion, degree ratio and healing edge volume of Xheal
+with kappa in {2, 4, 8} (and the always-merge ablation at kappa=4) on the same
+workload and adversary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.adversary import DeletionOnlyAdversary
+from repro.core.ablations import XhealAlwaysMerge
+from repro.core.xheal import Xheal
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.reporting import print_table
+from repro.harness.sweeps import sweep_parameter
+from repro.harness.workloads import random_regular_workload
+
+
+def kappa_ablation_rows():
+    base = ExperimentConfig(
+        healer_factory=lambda: Xheal(kappa=4, seed=1),
+        adversary_factory=lambda: DeletionOnlyAdversary(seed=2),
+        initial_graph=random_regular_workload(50, 4, seed=3),
+        timesteps=20,
+        kappa=4,
+        exact_expansion_limit=0,
+        stretch_sample_pairs=100,
+    )
+    sweep = sweep_parameter(
+        base,
+        label="kappa",
+        values=[2, 4, 8],
+        configure=lambda config, kappa: replace(
+            config, healer_factory=lambda: Xheal(kappa=kappa, seed=1), kappa=kappa
+        ),
+    )
+    rows = [point.row() for point in sweep]
+    merge_result = run_experiment(
+        replace(base, healer_factory=lambda: XhealAlwaysMerge(kappa=4, seed=1))
+    )
+    merge_row = {"sweep": "ablation", "parameter": "always-merge"}
+    merge_row.update(merge_result.summary_row())
+    rows.append(merge_row)
+    return rows
+
+
+def test_kappa_ablation(run_once):
+    rows = run_once(kappa_ablation_rows)
+    print()
+    columns = [
+        "sweep", "parameter", "healer", "connected", "h(Gt)", "lambda(Gt)",
+        "max_stretch", "max_degree_ratio", "amortized_msgs", "theorem2_holds",
+    ]
+    print_table(rows, columns=columns, title="Ablation: kappa and always-merge")
+    by_param = {row["parameter"]: row for row in rows}
+    # All variants keep connectivity and the Theorem 2 guarantees for their own kappa.
+    assert all(row["connected"] for row in rows)
+    assert all(row["theorem2_holds"] for row in rows)
+    # Larger kappa may raise the degree ratio ceiling but never above kappa + slack.
+    for kappa in (2, 4, 8):
+        assert by_param[kappa]["max_degree_ratio"] <= kappa + 2 * kappa
+    # Always-merge pays more healing work (message estimate) than standard Xheal.
+    assert by_param["always-merge"]["amortized_msgs"] >= by_param[4]["amortized_msgs"]

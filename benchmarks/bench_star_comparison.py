@@ -1,0 +1,72 @@
+"""E7 — The star worst case: Xheal vs tree-based healing.
+
+Paper claim (Section 1, Related Work): "If the original network is a star of
+n+1 nodes and the central node gets deleted, the repair algorithm [that puts
+in a tree] puts in a tree, pulling the expansion down from a constant to
+O(1/n)", whereas Xheal replaces the star centre by a kappa-regular expander
+and keeps the expansion constant.
+
+Measured here: expansion, conductance and lambda_2 of the healed graph after
+deleting the centre of stars of increasing size, for Xheal, Forgiving Tree,
+Forgiving Graph and the line/cycle baseline.  The expected shape: the
+tree/line healers' expansion decays like 1/n; Xheal's stays ~constant.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import ForgivingGraphHeal, ForgivingTreeHeal, LineHeal
+from repro.core.xheal import Xheal
+from repro.harness.reporting import print_table
+from repro.harness.workloads import star_workload
+from repro.spectral.cheeger import cheeger_constant
+from repro.spectral.expansion import edge_expansion
+from repro.spectral.laplacian import algebraic_connectivity
+
+HEALERS = {
+    "xheal": lambda: Xheal(kappa=6, seed=1),
+    "forgiving-tree": lambda: ForgivingTreeHeal(seed=1),
+    "forgiving-graph": lambda: ForgivingGraphHeal(seed=1),
+    "line-heal": lambda: LineHeal(seed=1),
+}
+
+SIZES = (32, 64, 128)
+
+
+def star_comparison_rows():
+    rows = []
+    for n in SIZES:
+        for name, factory in HEALERS.items():
+            healer = factory()
+            healer.initialize(star_workload(n))
+            healer.handle_deletion(0)
+            graph = healer.graph
+            rows.append(
+                {
+                    "n": n,
+                    "healer": name,
+                    "h(Gt)": round(edge_expansion(graph, exact_limit=0), 4),
+                    "phi(Gt)": round(cheeger_constant(graph, exact_limit=0), 4),
+                    "lambda(Gt)": round(algebraic_connectivity(graph), 4),
+                    "1/n reference": round(1.0 / n, 4),
+                }
+            )
+    return rows
+
+
+def test_star_comparison(run_once):
+    rows = run_once(star_comparison_rows)
+    print()
+    print_table(rows, title="E7  Star-centre deletion: Xheal vs tree-based healers")
+    by_key = {(row["n"], row["healer"]): row for row in rows}
+    for n in SIZES:
+        xheal = by_key[(n, "xheal")]
+        tree = by_key[(n, "forgiving-tree")]
+        line = by_key[(n, "line-heal")]
+        # Xheal keeps constant expansion; the tree and line healers collapse towards O(1/n).
+        assert xheal["h(Gt)"] >= 0.6
+        assert tree["h(Gt)"] <= 0.3
+        assert line["h(Gt)"] <= 10.0 / n
+        assert xheal["h(Gt)"] > 3 * tree["h(Gt)"]
+        assert xheal["lambda(Gt)"] > tree["lambda(Gt)"]
+    # The gap widens with n (the 1/n decay), i.e. a crossover never happens.
+    assert by_key[(128, "forgiving-tree")]["h(Gt)"] <= by_key[(32, "forgiving-tree")]["h(Gt)"]

@@ -1,0 +1,74 @@
+"""E2 — Theorem 2(2): stretch stays within O(log n).
+
+Paper claim: for any two surviving nodes, their distance in the healed graph
+is at most ``O(log n)`` times their distance in ``G'_t``.
+
+Measured here: the maximum pairwise stretch after deletion-heavy runs on a
+grid (large diameters, so stretch is actually exercised) and an ER graph, and
+the ratio ``max_stretch / log2(n)`` which the theorem bounds by a constant.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.adversary import DeletionOnlyAdversary, RandomAdversary
+from repro.core.ghost import GhostGraph
+from repro.core.xheal import Xheal
+from repro.harness.reporting import print_table
+from repro.harness.workloads import erdos_renyi_workload, grid_workload
+from repro.spectral.stretch import stretch_against_ghost
+
+
+def _run(graph, adversary, steps, kappa=4):
+    healer = Xheal(kappa=kappa, seed=3)
+    healer.initialize(graph)
+    ghost = GhostGraph(graph)
+    adversary.bind(graph)
+    for timestep in range(steps):
+        event = adversary.next_event(healer.graph, timestep)
+        if event is None:
+            break
+        if event.is_deletion:
+            ghost.record_deletion(event.node)
+            healer.handle_deletion(event.node)
+        else:
+            ghost.record_insertion(event.node, event.neighbors)
+            healer.handle_insertion(event.node, event.neighbors)
+    return healer, ghost
+
+
+def stretch_rows():
+    rows = []
+    cases = [
+        ("grid 8x8", grid_workload(8, 8), DeletionOnlyAdversary(seed=5), 25),
+        ("grid 10x10", grid_workload(10, 10), DeletionOnlyAdversary(seed=6), 40),
+        ("erdos-renyi n=80", erdos_renyi_workload(80, 5, seed=7), RandomAdversary(seed=8, delete_probability=0.7), 40),
+    ]
+    for name, graph, adversary, steps in cases:
+        healer, ghost = _run(graph, adversary, steps)
+        summary = stretch_against_ghost(
+            healer.graph, ghost.alive_subgraph(), sample_pairs=400, seed=1
+        )
+        n = ghost.number_of_nodes()
+        rows.append(
+            {
+                "workload": name,
+                "deletions": steps,
+                "max_stretch": round(summary.max_stretch, 3),
+                "avg_stretch": round(summary.average_stretch, 3),
+                "log2(n)": round(math.log2(n), 2),
+                "stretch/log2(n)": round(summary.max_stretch / math.log2(n), 3),
+                "paper_bound": "O(log n) (constant x log2 n)",
+            }
+        )
+    return rows
+
+
+def test_stretch_bound(run_once):
+    rows = run_once(stretch_rows)
+    print()
+    print_table(rows, title="E2  Theorem 2(2): stretch is O(log n)")
+    # The constant in front of log n stays small (the paper's O() hides ~1).
+    assert all(row["stretch/log2(n)"] <= 4.0 for row in rows)
+    assert all(row["max_stretch"] < float("inf") for row in rows)

@@ -1,0 +1,67 @@
+"""Peer-to-peer overlay under sustained churn: Xheal vs the prior self-healers.
+
+The paper's motivating scenario (Skype-style P2P outages) is an overlay whose
+nodes join and leave continuously while an attacker removes hubs.  This
+example replays the *same* hub-attack trace against Xheal, Forgiving Tree,
+Forgiving Graph and cycle healing on a power-law (preferential-attachment)
+overlay, then tabulates all four Theorem 2 quantities side by side.
+
+Run with::
+
+    python examples/p2p_churn.py
+"""
+
+from __future__ import annotations
+
+from repro.adversary import MaxDegreeAdversary
+from repro.baselines import ForgivingGraphHeal, ForgivingTreeHeal, LineHeal
+from repro.core.xheal import Xheal
+from repro.harness.experiment import ExperimentConfig, run_experiment, run_healer_on_trace
+from repro.harness.reporting import print_comparison
+from repro.harness.workloads import power_law_workload
+
+
+def main() -> None:
+    initial = power_law_workload(80, 2, seed=11)
+    print("P2P overlay: 80-node preferential-attachment graph, 30-step hub attack")
+    print("(the adversary always removes the current highest-degree peer)")
+    print()
+
+    reference = run_experiment(
+        ExperimentConfig(
+            healer_factory=lambda: Xheal(kappa=4, seed=5),
+            adversary_factory=lambda: MaxDegreeAdversary(seed=2),
+            initial_graph=initial,
+            timesteps=30,
+            kappa=4,
+            exact_expansion_limit=0,
+            stretch_sample_pairs=200,
+        )
+    )
+    results = [reference]
+    for factory in (
+        lambda: ForgivingTreeHeal(seed=5),
+        lambda: ForgivingGraphHeal(seed=5),
+        lambda: LineHeal(seed=5),
+    ):
+        results.append(
+            run_healer_on_trace(
+                factory(), initial, reference.trace, kappa=4,
+                exact_expansion_limit=0, stretch_sample_pairs=200,
+            )
+        )
+
+    print_comparison(results, title="Same hub-attack trace, four healers")
+    print()
+    xheal = results[0]
+    print("Reading the table:")
+    print(f"  * Xheal keeps h(Gt)={xheal.final_metrics.edge_expansion:.2f} and "
+          f"lambda={xheal.final_metrics.algebraic_connectivity:.2f} — the overlay stays an expander,")
+    print("    so broadcast/mixing-based P2P protocols keep working at full speed.")
+    print("  * The tree-based healers keep degrees low but their spectral quantities sag —")
+    print("    exactly the gap the paper's introduction describes.")
+    print("  * Cycle healing has the smallest degree growth and the worst expansion of all.")
+
+
+if __name__ == "__main__":
+    main()

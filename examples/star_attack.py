@@ -1,0 +1,78 @@
+"""The paper's worst case: deleting the centre of a star.
+
+Section 1 of the paper argues that tree-based self-healing (Forgiving Tree /
+Forgiving Graph) collapses the expansion of a star from a constant to O(1/n)
+when the centre is deleted, while Xheal's expander cloud keeps it constant.
+This example walks through that single deletion step by step and prints what
+each healer actually built.
+
+Run with::
+
+    python examples/star_attack.py
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.baselines import ForgivingGraphHeal, ForgivingTreeHeal, LineHeal
+from repro.core.clouds import CloudKind
+from repro.core.xheal import Xheal
+from repro.harness.reporting import print_table
+from repro.harness.workloads import star_workload
+from repro.spectral.cheeger import cheeger_constant
+from repro.spectral.expansion import edge_expansion
+from repro.spectral.laplacian import algebraic_connectivity
+from repro.spectral.stretch import stretch_against_ghost
+
+
+def heal_and_describe(name, healer, n):
+    star = star_workload(n)
+    healer.initialize(star)
+    healer.handle_deletion(0)
+    graph = healer.graph
+    ghost_alive = star.subgraph(range(1, n)).copy()
+    row = {
+        "healer": name,
+        "n": n,
+        "edges added": graph.number_of_edges(),
+        "max degree": max((degree for _, degree in graph.degree()), default=0),
+        "h(Gt)": round(edge_expansion(graph, exact_limit=0), 4),
+        "phi(Gt)": round(cheeger_constant(graph, exact_limit=0), 4),
+        "lambda(Gt)": round(algebraic_connectivity(graph), 4),
+        "connected": nx.is_connected(graph) if graph.number_of_nodes() else False,
+    }
+    return row, healer
+
+
+def main() -> None:
+    n = 64
+    print(f"Star on {n} nodes; the adversary deletes the centre (node 0).")
+    print("Every healer must reconnect the 63 now-isolated leaves.\n")
+
+    rows = []
+    xheal_row, xheal = heal_and_describe("xheal (kappa=6)", Xheal(kappa=6, seed=1), n)
+    rows.append(xheal_row)
+    for name, healer in (
+        ("forgiving-tree", ForgivingTreeHeal(seed=1)),
+        ("forgiving-graph", ForgivingGraphHeal(seed=1)),
+        ("line-heal", LineHeal(seed=1)),
+    ):
+        rows.append(heal_and_describe(name, healer, n)[0])
+
+    print_table(rows, title="After deleting the star centre")
+    print()
+    clouds = xheal.registry.clouds(CloudKind.PRIMARY)
+    print(f"Xheal's repair: {len(clouds)} primary expander cloud over "
+          f"{clouds[0].size()} leaves with {len(clouds[0].edges)} colored edges "
+          f"(each leaf gained at most kappa={xheal.kappa} edges).")
+    print("The tree healers add fewer edges but leave a 1-edge cut near the root —")
+    print("that is the O(1/n) expansion the paper warns about; the cycle healer is worse still.")
+    print()
+    print("Expected shape (paper): expansion constant for Xheal, ~1/n for tree/cycle repairs.")
+    print(f"Measured: {xheal_row['h(Gt)']:.3f} (Xheal) vs "
+          f"{rows[1]['h(Gt)']:.3f} (forgiving-tree) vs {rows[3]['h(Gt)']:.3f} (line).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — a full reproduction of *Xheal: Localized Self-healing using Expanders*
+(Pandurangan & Trehan, PODC 2011).
+
+The library provides:
+
+* :mod:`repro.core` — the Xheal algorithm (primary/secondary expander clouds,
+  free/bridge nodes, edge colouring) and the self-healer interface.
+* :mod:`repro.expanders` — the Law-Siu H-graph expander construction the
+  algorithm's clouds are built from.
+* :mod:`repro.spectral` — edge expansion, Cheeger constant, algebraic
+  connectivity, stretch and mixing-time measurement.
+* :mod:`repro.adversary` — omniscient adversary strategies (hub attack,
+  cascades, churn, scripted traces).
+* :mod:`repro.baselines` — Forgiving Tree / Forgiving Graph and naive healers
+  for comparison.
+* :mod:`repro.distributed` — a synchronous LOCAL-model simulator running the
+  distributed Xheal protocol with real message/round accounting.
+* :mod:`repro.analysis` — Theorem 2 invariant checkers and Theorem 5 / Lemma 5
+  amortised message accounting.
+* :mod:`repro.harness` — workload generators, the experiment runner and the
+  report printers behind ``benchmarks/``.
+
+Quickstart::
+
+    import networkx as nx
+    from repro import Xheal, GhostGraph
+    from repro.adversary import RandomAdversary
+    from repro.harness import run_experiment, ExperimentConfig
+
+    graph = nx.random_regular_graph(4, 50, seed=1)
+    result = run_experiment(ExperimentConfig(
+        healer_factory=lambda: Xheal(kappa=4),
+        adversary_factory=lambda: RandomAdversary(seed=7),
+        initial_graph=graph,
+        timesteps=100,
+    ))
+    print(result.final_metrics)
+"""
+
+from repro.core import (
+    GhostGraph,
+    RepairAction,
+    RepairReport,
+    SelfHealer,
+    Xheal,
+    XhealConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GhostGraph",
+    "RepairAction",
+    "RepairReport",
+    "SelfHealer",
+    "Xheal",
+    "XhealConfig",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""Adversary strategies (Section 2's "Node Insert, Delete and Network Repair Model").
+
+The adversary is omniscient about the topology and the algorithm (but not the
+healer's random bits).  At each timestep it either deletes an arbitrary node
+or inserts a new node with arbitrary connections to existing nodes.
+
+Strategies provided:
+
+* :class:`~repro.adversary.strategies.RandomAdversary` — uniform random
+  deletions mixed with random insertions (churn).
+* :class:`~repro.adversary.strategies.MaxDegreeAdversary` — always delete the
+  highest-degree node (hub attack; the star-centre worst case generalised).
+* :class:`~repro.adversary.strategies.MinDegreeAdversary` — always delete the
+  lowest-degree node (periphery attack).
+* :class:`~repro.adversary.strategies.StarCenterAdversary` — delete the
+  centre of the largest star-like neighbourhood first (the paper's motivating
+  expansion-killing attack against tree-based healers).
+* :class:`~repro.adversary.strategies.CascadeAdversary` — repeatedly delete a
+  neighbour of the previously deleted node, simulating a spreading failure.
+* :class:`~repro.adversary.strategies.ScriptedAdversary` — replay an explicit
+  list of events (used by tests and the figure traces).
+* :class:`~repro.adversary.strategies.InsertionOnlyAdversary` /
+  :class:`~repro.adversary.strategies.DeletionOnlyAdversary` — pure growth /
+  pure attrition.
+"""
+
+from repro.adversary.base import Adversary, AdversaryEvent, EventType
+from repro.adversary.strategies import (
+    CascadeAdversary,
+    DeletionOnlyAdversary,
+    InsertionOnlyAdversary,
+    MaxDegreeAdversary,
+    MinDegreeAdversary,
+    RandomAdversary,
+    ScriptedAdversary,
+    StarCenterAdversary,
+)
+
+__all__ = [
+    "Adversary",
+    "AdversaryEvent",
+    "EventType",
+    "RandomAdversary",
+    "MaxDegreeAdversary",
+    "MinDegreeAdversary",
+    "StarCenterAdversary",
+    "CascadeAdversary",
+    "ScriptedAdversary",
+    "InsertionOnlyAdversary",
+    "DeletionOnlyAdversary",
+]

@@ -1,0 +1,101 @@
+"""Adversary interface and event types.
+
+The adversary observes the *healed* graph ``G_t`` (it is omniscient about the
+topology) and the ghost graph, and produces one event per timestep: either an
+insertion (a fresh node id plus the existing nodes it attaches to) or a
+deletion (an existing node id).  It never observes the healer's random bits —
+the model's "oblivious to the random choices" assumption — which is enforced
+structurally: adversaries receive only the graphs, never the healer object.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.util.ids import IdAllocator, NodeId
+from repro.util.rng import SeededRng
+
+
+class EventType(enum.Enum):
+    """The two adversarial moves allowed by the model."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class AdversaryEvent:
+    """A single adversarial move.
+
+    ``node`` is the inserted or deleted node; ``neighbors`` is only meaningful
+    for insertions (the existing nodes the new node connects to).
+    """
+
+    type: EventType
+    node: NodeId
+    neighbors: tuple[NodeId, ...] = field(default_factory=tuple)
+
+    @property
+    def is_insertion(self) -> bool:
+        """Return whether this event inserts a node."""
+        return self.type is EventType.INSERT
+
+    @property
+    def is_deletion(self) -> bool:
+        """Return whether this event deletes a node."""
+        return self.type is EventType.DELETE
+
+
+class Adversary(ABC):
+    """Base class for adversary strategies.
+
+    Subclasses implement :meth:`next_event`; the shared machinery provides a
+    seeded random stream and an :class:`~repro.util.ids.IdAllocator` so that
+    inserted node ids never collide with existing ones.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, seed: int = 0):
+        self._rng = SeededRng(seed).child("adversary", type(self).__name__)
+        self._allocator: IdAllocator | None = None
+
+    def bind(self, initial_graph: nx.Graph) -> None:
+        """Attach the adversary to the initial graph (reserves existing node ids)."""
+        self._allocator = IdAllocator.from_existing(initial_graph.nodes())
+
+    def _fresh_node(self) -> NodeId:
+        if self._allocator is None:
+            raise RuntimeError("adversary used before bind() was called")
+        return self._allocator.allocate()
+
+    @abstractmethod
+    def next_event(self, graph: nx.Graph, timestep: int) -> AdversaryEvent | None:
+        """Return the adversary's move given the current healed graph ``G_t``.
+
+        Returning ``None`` means the adversary has nothing left to do (for
+        example, a deletion-only adversary facing a too-small graph); the
+        experiment harness stops the run early in that case.
+        """
+
+    # -- helpers shared by concrete strategies --------------------------------
+
+    def _random_insertion(self, graph: nx.Graph, max_attachments: int) -> AdversaryEvent | None:
+        """Insert a fresh node attached to a random non-empty subset of nodes."""
+        nodes = sorted(graph.nodes())
+        if not nodes:
+            return None
+        count = self._rng.randint(1, min(max_attachments, len(nodes)))
+        neighbors = tuple(self._rng.sample(nodes, count))
+        return AdversaryEvent(EventType.INSERT, self._fresh_node(), neighbors)
+
+    @staticmethod
+    def _deletable_nodes(graph: nx.Graph, minimum_remaining: int) -> list[NodeId]:
+        """Return nodes that may be deleted while keeping ``minimum_remaining`` nodes."""
+        if graph.number_of_nodes() <= minimum_remaining:
+            return []
+        return sorted(graph.nodes())

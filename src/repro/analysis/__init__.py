@@ -1,0 +1,52 @@
+"""Analysis layer: invariant checkers and complexity accounting.
+
+* :mod:`repro.analysis.invariants` — checks the four guarantees of Theorem 2
+  (degree, stretch, expansion, algebraic connectivity) of a healed graph
+  against its ghost graph, producing structured verdicts the tests and
+  benchmarks assert on.
+* :mod:`repro.analysis.amortized` — Lemma 5's lower bound ``A(p)`` and the
+  amortised message/round accounting of Theorem 5.
+* :mod:`repro.analysis.trackers` — per-timestep trackers that accumulate the
+  Theorem 2 quantities cheaply during a long run (degree ratios every step,
+  spectral quantities on a configurable cadence).
+"""
+
+from repro.analysis.invariants import (
+    DegreeInvariantResult,
+    ExpansionInvariantResult,
+    SpectralInvariantResult,
+    StretchInvariantResult,
+    Theorem2Verdict,
+    check_degree_invariant,
+    check_expansion_invariant,
+    check_spectral_invariant,
+    check_stretch_invariant,
+    check_theorem2,
+)
+from repro.analysis.amortized import (
+    AmortizedCostSummary,
+    CostLedger,
+    lemma5_lower_bound,
+    theorem5_upper_bound,
+)
+from repro.analysis.trackers import DegreeRatioTracker, MetricTimeline, TimelineEntry
+
+__all__ = [
+    "DegreeInvariantResult",
+    "ExpansionInvariantResult",
+    "SpectralInvariantResult",
+    "StretchInvariantResult",
+    "Theorem2Verdict",
+    "check_degree_invariant",
+    "check_expansion_invariant",
+    "check_spectral_invariant",
+    "check_stretch_invariant",
+    "check_theorem2",
+    "AmortizedCostSummary",
+    "CostLedger",
+    "lemma5_lower_bound",
+    "theorem5_upper_bound",
+    "DegreeRatioTracker",
+    "MetricTimeline",
+    "TimelineEntry",
+]

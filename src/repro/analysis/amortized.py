@@ -1,0 +1,115 @@
+"""Amortised complexity accounting (Lemma 5 and Theorem 5 of the paper).
+
+Lemma 5: any healing algorithm needs ``Theta(deg(v))`` messages to repair the
+deletion of ``v`` (where ``deg(v)`` is v's black degree), so over ``p``
+deletions the amortised cost is ``A(p) = (1/p) * sum_i Theta(deg(v_i))`` and
+no algorithm can do better.
+
+Theorem 5: Xheal's repairs take ``O(log n)`` rounds each and the amortised
+message complexity over ``p`` deletions is ``O(kappa * log n * A(p))``.
+
+The :class:`CostLedger` accumulates per-deletion costs (either the estimated
+costs produced by the centralized healer or the measured counts of the
+distributed simulator) together with the black degrees needed for ``A(p)``,
+and summarises them against both bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.util.ids import NodeId
+from repro.util.validation import require
+
+
+def lemma5_lower_bound(black_degrees: list[int]) -> float:
+    """Return ``A(p)``, the amortised per-deletion message lower bound of Lemma 5."""
+    if not black_degrees:
+        return 0.0
+    return sum(max(1, degree) for degree in black_degrees) / len(black_degrees)
+
+
+def theorem5_upper_bound(black_degrees: list[int], kappa: int, n: int) -> float:
+    """Return the amortised Theorem 5 upper bound ``kappa * log2(n) * A(p)``."""
+    require(kappa >= 1, "kappa must be at least 1")
+    require(n >= 2, "n must be at least 2")
+    return kappa * math.log2(n) * lemma5_lower_bound(black_degrees)
+
+
+@dataclass(frozen=True)
+class AmortizedCostSummary:
+    """Summary of a run's deletion costs versus the paper's bounds."""
+
+    deletions: int
+    total_messages: int
+    amortized_messages: float
+    lower_bound: float
+    upper_bound: float
+    max_rounds: int
+    mean_rounds: float
+    overhead_vs_lower_bound: float
+
+    @property
+    def within_upper_bound(self) -> bool:
+        """Return whether the measured amortised cost is within the Theorem 5 bound."""
+        return self.amortized_messages <= self.upper_bound + 1e-9
+
+
+@dataclass
+class CostLedger:
+    """Accumulates per-deletion repair costs during a run."""
+
+    kappa: int = 4
+    _messages: list[int] = field(default_factory=list)
+    _rounds: list[int] = field(default_factory=list)
+    _black_degrees: list[int] = field(default_factory=list)
+    _network_sizes: list[int] = field(default_factory=list)
+
+    def record_deletion(
+        self,
+        deleted: NodeId,
+        black_degree: int,
+        messages: int,
+        rounds: int,
+        network_size: int,
+    ) -> None:
+        """Record the repair cost of one deletion.
+
+        ``black_degree`` is the deleted node's degree in ``G'_t`` (the
+        quantity Lemma 5's lower bound is built from); ``network_size`` is the
+        current number of nodes (Theorem 5's ``n``).
+        """
+        require(black_degree >= 0, "black_degree must be non-negative")
+        require(messages >= 0, "messages must be non-negative")
+        require(rounds >= 0, "rounds must be non-negative")
+        self._messages.append(messages)
+        self._rounds.append(rounds)
+        self._black_degrees.append(black_degree)
+        self._network_sizes.append(max(2, network_size))
+
+    @property
+    def deletions(self) -> int:
+        """Return how many deletions have been recorded."""
+        return len(self._messages)
+
+    def summary(self) -> AmortizedCostSummary:
+        """Summarise the recorded costs against the Lemma 5 / Theorem 5 bounds."""
+        if not self._messages:
+            return AmortizedCostSummary(0, 0, 0.0, 0.0, 0.0, 0, 0.0, 0.0)
+        total_messages = sum(self._messages)
+        amortized = total_messages / len(self._messages)
+        lower = lemma5_lower_bound(self._black_degrees)
+        n = max(self._network_sizes)
+        upper = theorem5_upper_bound(self._black_degrees, self.kappa, n)
+        overhead = amortized / lower if lower > 0 else float("inf")
+        return AmortizedCostSummary(
+            deletions=len(self._messages),
+            total_messages=total_messages,
+            amortized_messages=amortized,
+            lower_bound=lower,
+            upper_bound=upper,
+            max_rounds=max(self._rounds),
+            mean_rounds=sum(self._rounds) / len(self._rounds),
+            overhead_vs_lower_bound=overhead,
+        )

@@ -1,0 +1,102 @@
+"""Cheap per-timestep trackers used during long experiment runs.
+
+Spectral quantities are expensive to recompute after every adversarial event,
+so the harness records them on a cadence through :class:`MetricTimeline`,
+while :class:`DegreeRatioTracker` keeps the (cheap) degree-ratio invariant up
+to date after every single event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.core.ghost import GhostGraph
+from repro.spectral.metrics import GraphMetrics, snapshot_metrics
+from repro.util.ids import NodeId
+
+
+class DegreeRatioTracker:
+    """Tracks the per-node degree ratio ``degree(G_t) / degree(G'_t)`` incrementally."""
+
+    def __init__(self, kappa: int):
+        self.kappa = kappa
+        self.max_ratio_seen = 0.0
+        self.max_additive_violation = 0.0
+        self.worst_node: NodeId | None = None
+
+    def observe(self, healed: nx.Graph, ghost: GhostGraph) -> float:
+        """Record the current worst degree ratio; return it."""
+        worst = 0.0
+        for node in healed.nodes():
+            ghost_degree = ghost.degree(node)
+            ratio = healed.degree(node) / max(1, ghost_degree)
+            excess = healed.degree(node) - (self.kappa * ghost_degree + 2 * self.kappa)
+            if ratio > worst:
+                worst = ratio
+            if ratio > self.max_ratio_seen:
+                self.max_ratio_seen = ratio
+                self.worst_node = node
+            if excess > self.max_additive_violation:
+                self.max_additive_violation = excess
+        return worst
+
+    @property
+    def bound_respected(self) -> bool:
+        """Return whether the Theorem 2(1) bound has held at every observation."""
+        return self.max_additive_violation <= 0
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One recorded point of a metric timeline."""
+
+    timestep: int
+    healed: GraphMetrics
+    ghost: GraphMetrics
+    worst_degree_ratio: float
+
+
+@dataclass
+class MetricTimeline:
+    """A time series of :class:`~repro.spectral.metrics.GraphMetrics` snapshots."""
+
+    exact_limit: int = 16
+    stretch_sample_pairs: int | None = 100
+    entries: list[TimelineEntry] = field(default_factory=list)
+
+    def record(
+        self, timestep: int, healed: nx.Graph, ghost: GhostGraph, worst_degree_ratio: float
+    ) -> TimelineEntry:
+        """Snapshot both graphs and append a timeline entry."""
+        ghost_alive = ghost.alive_subgraph()
+        healed_metrics = snapshot_metrics(
+            healed,
+            ghost=ghost_alive,
+            exact_limit=self.exact_limit,
+            stretch_sample_pairs=self.stretch_sample_pairs,
+        )
+        ghost_metrics = snapshot_metrics(
+            ghost_alive, exact_limit=self.exact_limit, stretch_sample_pairs=None
+        )
+        entry = TimelineEntry(
+            timestep=timestep,
+            healed=healed_metrics,
+            ghost=ghost_metrics,
+            worst_degree_ratio=worst_degree_ratio,
+        )
+        self.entries.append(entry)
+        return entry
+
+    def series(self, field_name: str, side: str = "healed") -> list[float]:
+        """Return the time series of one metric field (``side`` is healed/ghost)."""
+        values: list[float] = []
+        for entry in self.entries:
+            metrics = entry.healed if side == "healed" else entry.ghost
+            values.append(getattr(metrics, field_name))
+        return values
+
+    def final(self) -> TimelineEntry | None:
+        """Return the last recorded entry (None when empty)."""
+        return self.entries[-1] if self.entries else None

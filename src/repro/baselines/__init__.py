@@ -1,0 +1,45 @@
+"""Baseline self-healing algorithms Xheal is compared against.
+
+The paper positions Xheal against two families of prior work:
+
+* **Tree-based self-healers** — *Forgiving Tree* [Hayes, Rustagi, Saia,
+  Trehan; PODC 2008] and *Forgiving Graph* [Hayes, Saia, Trehan; PODC 2009]
+  replace a deleted node by a (virtual) tree of its neighbours.  They keep
+  degrees and stretch low but, as Section 1 argues, "methods which put in
+  tree like structures of nodes are likely to be bad for expansion": deleting
+  the centre of a star drops expansion from a constant to ``O(1/n)``.
+* **Naive healers** — no healing at all, connecting the neighbours in a cycle
+  (line), a clique, or with a few random edges.  These bracket the design
+  space: the clique heals expansion perfectly but explodes degrees, the cycle
+  keeps degrees tiny but gives terrible expansion and stretch, no-heal loses
+  connectivity outright.
+
+All baselines implement the same :class:`repro.core.healer.SelfHealer`
+interface so the experiment harness can drive them interchangeably.
+"""
+
+from repro.baselines.no_heal import NoHeal
+from repro.baselines.line_heal import LineHeal
+from repro.baselines.clique_heal import CliqueHeal
+from repro.baselines.random_heal import RandomKHeal
+from repro.baselines.forgiving_tree import ForgivingTreeHeal
+from repro.baselines.forgiving_graph import ForgivingGraphHeal
+
+ALL_BASELINES = (
+    NoHeal,
+    LineHeal,
+    CliqueHeal,
+    RandomKHeal,
+    ForgivingTreeHeal,
+    ForgivingGraphHeal,
+)
+
+__all__ = [
+    "NoHeal",
+    "LineHeal",
+    "CliqueHeal",
+    "RandomKHeal",
+    "ForgivingTreeHeal",
+    "ForgivingGraphHeal",
+    "ALL_BASELINES",
+]

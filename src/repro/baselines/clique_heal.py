@@ -1,0 +1,34 @@
+"""Clique healing baseline.
+
+When a node is deleted, every pair of its surviving neighbours is connected.
+This maximises expansion and minimises stretch of the repair but makes node
+degrees explode (a node adjacent to many deletions accumulates the union of
+all the deleted neighbourhoods) — the degree-increase benchmark uses it as
+the "no degree discipline" upper bracket.
+"""
+
+from __future__ import annotations
+
+from repro.core.colors import EdgeColor
+from repro.core.events import RepairAction, RepairReport
+from repro.core.healer import SelfHealer
+from repro.util.ids import NodeId
+
+
+class CliqueHeal(SelfHealer):
+    """Reconnect the deleted node's neighbours as a clique."""
+
+    name = "clique-heal"
+
+    def _heal_after_deletion(
+        self,
+        deleted: NodeId,
+        neighbors: list[NodeId],
+        incident_colors: dict[NodeId, EdgeColor],
+        report: RepairReport,
+    ) -> None:
+        report.note_action(RepairAction.BASELINE)
+        survivors = sorted(node for node in neighbors if node in self._graph)
+        for i in range(len(survivors)):
+            for j in range(i + 1, len(survivors)):
+                self._add_plain_edge(survivors[i], survivors[j], report)

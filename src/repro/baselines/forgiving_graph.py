@@ -1,0 +1,88 @@
+"""Forgiving Graph baseline [Hayes, Saia, Trehan; PODC 2009].
+
+The Forgiving Graph improves on the Forgiving Tree by handling both
+insertions and deletions and by bounding the *multiplicative* degree increase
+using "half-full trees" (HAFTs): the deleted node is replaced by a half-full
+binary tree whose leaves are the surviving neighbours, and neighbours with
+higher degree in the original graph are placed closer to the root so that the
+extra edges they pick up stay proportional to their original degree.
+
+As with the Forgiving Tree baseline, this implementation uses the real-node
+projection of the virtual structure: a half-full tree is built over the
+surviving neighbours ordered by their ghost-graph degree (highest degree
+first, i.e. nearest the root), and its edges are added to the network.  The
+comparison-relevant properties — multiplicative O(1) degree increase,
+O(log n) stretch, and tree-shaped patches that destroy expansion — are
+preserved.
+"""
+
+from __future__ import annotations
+
+from repro.core.colors import EdgeColor
+from repro.core.events import RepairAction, RepairReport
+from repro.core.healer import SelfHealer
+from repro.util.ids import NodeId
+
+
+def half_full_tree_edges(leaves: list[NodeId]) -> list[tuple[NodeId, NodeId]]:
+    """Return the edges of a half-full tree (HAFT) whose node set is ``leaves``.
+
+    A half-full tree over ``k`` items is the union of complete binary trees
+    whose sizes are the powers of two in the binary representation of ``k``,
+    with the roots of consecutive trees chained together.  Here the *same*
+    real nodes play both leaf and internal roles (real-node projection), so we
+    build each complete tree in heap order over its slice of ``leaves`` and
+    chain the slice heads.
+    """
+    edges: list[tuple[NodeId, NodeId]] = []
+    remaining = list(leaves)
+    previous_root: NodeId | None = None
+    while remaining:
+        # Largest power of two not exceeding the remaining count.
+        size = 1 << (len(remaining).bit_length() - 1)
+        block, remaining = remaining[:size], remaining[size:]
+        for i in range(size):
+            for child_index in (2 * i + 1, 2 * i + 2):
+                if child_index < size:
+                    edges.append((block[i], block[child_index]))
+        if previous_root is not None:
+            edges.append((previous_root, block[0]))
+        previous_root = block[0]
+    return edges
+
+
+class ForgivingGraphHeal(SelfHealer):
+    """Replace the deleted node by a half-full tree of its neighbours."""
+
+    name = "forgiving-graph"
+
+    def __init__(self, seed: int = 0):
+        super().__init__(seed=seed)
+        # Degrees in the insertions-only graph, used to order the HAFT so that
+        # high-degree nodes sit near the root (the PODC'09 placement rule).
+        self._ghost_degree: dict[NodeId, int] = {}
+
+    def _after_initialize(self) -> None:
+        self._ghost_degree = {node: self._graph.degree(node) for node in self._graph.nodes()}
+
+    def _after_insertion(self, node: NodeId, neighbors: list[NodeId], report: RepairReport) -> None:
+        self._ghost_degree[node] = len(neighbors)
+        for neighbor in neighbors:
+            self._ghost_degree[neighbor] = self._ghost_degree.get(neighbor, 0) + 1
+
+    def _heal_after_deletion(
+        self,
+        deleted: NodeId,
+        neighbors: list[NodeId],
+        incident_colors: dict[NodeId, EdgeColor],
+        report: RepairReport,
+    ) -> None:
+        report.note_action(RepairAction.BASELINE)
+        survivors = [node for node in neighbors if node in self._graph]
+        if len(survivors) < 2:
+            return
+        # High ghost-degree nodes first: they take the internal (higher-degree)
+        # positions of the half-full tree.
+        survivors.sort(key=lambda node: (-self._ghost_degree.get(node, 0), node))
+        for u, v in half_full_tree_edges(survivors):
+            self._add_plain_edge(u, v, report)

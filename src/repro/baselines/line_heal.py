@@ -1,0 +1,39 @@
+"""Cycle ("line") healing baseline.
+
+When a node is deleted its surviving neighbours are reconnected in a cycle
+(in sorted order).  This is the minimal-degree repair mentioned in the paper's
+introduction — "If we were trying to give the lowest degrees to the nodes in a
+connected graph, they would be connected in a line/cycle giving the maximum
+possible diameter" — so it keeps the degree increase at most 2 per deletion
+but sacrifices stretch and expansion.
+"""
+
+from __future__ import annotations
+
+from repro.core.colors import EdgeColor
+from repro.core.events import RepairAction, RepairReport
+from repro.core.healer import SelfHealer
+from repro.util.ids import NodeId
+
+
+class LineHeal(SelfHealer):
+    """Reconnect the deleted node's neighbours in a cycle."""
+
+    name = "line-heal"
+
+    def _heal_after_deletion(
+        self,
+        deleted: NodeId,
+        neighbors: list[NodeId],
+        incident_colors: dict[NodeId, EdgeColor],
+        report: RepairReport,
+    ) -> None:
+        report.note_action(RepairAction.BASELINE)
+        survivors = sorted(node for node in neighbors if node in self._graph)
+        if len(survivors) < 2:
+            return
+        if len(survivors) == 2:
+            self._add_plain_edge(survivors[0], survivors[1], report)
+            return
+        for i, node in enumerate(survivors):
+            self._add_plain_edge(node, survivors[(i + 1) % len(survivors)], report)

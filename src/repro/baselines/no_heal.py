@@ -1,0 +1,27 @@
+"""The trivial "do nothing" baseline.
+
+No edges are ever added after a deletion.  The network fragments quickly,
+making this the connectivity lower bound every real healer must beat.
+"""
+
+from __future__ import annotations
+
+from repro.core.colors import EdgeColor
+from repro.core.events import RepairAction, RepairReport
+from repro.core.healer import SelfHealer
+from repro.util.ids import NodeId
+
+
+class NoHeal(SelfHealer):
+    """A healer that never heals."""
+
+    name = "no-heal"
+
+    def _heal_after_deletion(
+        self,
+        deleted: NodeId,
+        neighbors: list[NodeId],
+        incident_colors: dict[NodeId, EdgeColor],
+        report: RepairReport,
+    ) -> None:
+        report.note_action(RepairAction.BASELINE)

@@ -1,0 +1,44 @@
+"""Random-k healing baseline.
+
+When a node is deleted, each surviving neighbour is connected to ``k``
+uniformly random other neighbours (without duplicates).  This is the
+"unstructured" cousin of Xheal's expander clouds: similar edge budget, but no
+guarantee the added edges form an expander, no colour bookkeeping, and no
+free-node machinery for later repairs.
+"""
+
+from __future__ import annotations
+
+from repro.core.colors import EdgeColor
+from repro.core.events import RepairAction, RepairReport
+from repro.core.healer import SelfHealer
+from repro.util.ids import NodeId
+from repro.util.validation import require
+
+
+class RandomKHeal(SelfHealer):
+    """Connect each surviving neighbour to ``k`` random other neighbours."""
+
+    name = "random-k-heal"
+
+    def __init__(self, k: int = 2, seed: int = 0):
+        require(k >= 1, f"k must be at least 1, got {k}")
+        super().__init__(seed=seed)
+        self.k = k
+
+    def _heal_after_deletion(
+        self,
+        deleted: NodeId,
+        neighbors: list[NodeId],
+        incident_colors: dict[NodeId, EdgeColor],
+        report: RepairReport,
+    ) -> None:
+        report.note_action(RepairAction.BASELINE)
+        survivors = sorted(node for node in neighbors if node in self._graph)
+        if len(survivors) < 2:
+            return
+        for node in survivors:
+            others = [candidate for candidate in survivors if candidate != node]
+            picks = self._rng.sample(others, min(self.k, len(others)))
+            for target in picks:
+                self._add_plain_edge(node, target, report)

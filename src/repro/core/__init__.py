@@ -1,0 +1,40 @@
+"""The paper's primary contribution: the Xheal self-healing algorithm.
+
+The package is layered as follows:
+
+* :mod:`repro.core.colors` — edge colours.  Original / adversarial edges are
+  *black*; every expander cloud built by the healer gets its own colour
+  (primary clouds are "shades of red", secondary clouds "shades of orange").
+* :mod:`repro.core.clouds` — the primary / secondary expander clouds and the
+  registry that tracks cloud membership, free nodes and bridge nodes.
+* :mod:`repro.core.ghost` — the ghost graph ``G'_t`` (original nodes plus
+  adversarial insertions, with neither deletions nor healing applied), the
+  reference graph all of Theorem 2's guarantees compare against.
+* :mod:`repro.core.healer` — the abstract self-healer interface shared by
+  Xheal and every baseline in :mod:`repro.baselines`.
+* :mod:`repro.core.events` — repair reports (what a single healing step did,
+  with enough detail to account messages and rounds).
+* :mod:`repro.core.xheal` — the Xheal algorithm (Algorithm 3.1-3.6).
+"""
+
+from repro.core.colors import BLACK, EdgeColor, ColorKind
+from repro.core.clouds import Cloud, CloudKind, CloudRegistry
+from repro.core.events import RepairAction, RepairReport
+from repro.core.ghost import GhostGraph
+from repro.core.healer import SelfHealer
+from repro.core.xheal import Xheal, XhealConfig
+
+__all__ = [
+    "BLACK",
+    "EdgeColor",
+    "ColorKind",
+    "Cloud",
+    "CloudKind",
+    "CloudRegistry",
+    "RepairAction",
+    "RepairReport",
+    "GhostGraph",
+    "SelfHealer",
+    "Xheal",
+    "XhealConfig",
+]

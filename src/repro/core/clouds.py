@@ -1,0 +1,309 @@
+"""Primary and secondary expander clouds, free nodes and bridge nodes.
+
+Section 3 of the paper introduces the vocabulary this module implements:
+
+* a **primary cloud** is the kappa-regular expander (or clique, for small
+  neighbourhoods) built among the neighbours of a deleted node,
+* a **secondary cloud** is the kappa-regular expander built among one *free*
+  node of each primary cloud affected by a later deletion,
+* a **free node** is a node that belongs only to primary clouds,
+* a **bridge node** is a node that has joined a secondary cloud on behalf of
+  exactly one primary cloud ("the free node associated with a particular
+  primary cloud ... that 'connects' the primary cloud with the secondary
+  cloud"); the algorithm guarantees every node belongs to at most one
+  secondary cloud.
+
+The :class:`CloudRegistry` tracks every cloud, the membership maps, and the
+free/bridge status of every node, and enforces those invariants.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.colors import EdgeColor, primary_color, secondary_color
+from repro.util.ids import NodeId
+from repro.util.validation import require
+
+
+class CloudKind(enum.Enum):
+    """The two cloud flavours of the algorithm."""
+
+    PRIMARY = "primary"
+    SECONDARY = "secondary"
+
+
+@dataclass
+class Cloud:
+    """One expander cloud.
+
+    Attributes
+    ----------
+    cloud_id:
+        Unique identifier (also the tag of the cloud's edge colour).
+    kind:
+        Primary or secondary.
+    color:
+        The cloud's unique :class:`~repro.core.colors.EdgeColor`.
+    members:
+        The nodes currently belonging to the cloud.
+    edges:
+        The cloud's current internal edge set (normalised ``(min, max)``
+        tuples).  Maintained by the healer, which owns the live graph.
+    bridge_of:
+        For secondary clouds only: ``{primary_cloud_id: bridge_node}`` — which
+        node represents which primary cloud inside this secondary cloud.
+    """
+
+    cloud_id: int
+    kind: CloudKind
+    color: EdgeColor
+    members: set[NodeId] = field(default_factory=set)
+    edges: set[tuple[NodeId, NodeId]] = field(default_factory=set)
+    bridge_of: dict[int, NodeId] = field(default_factory=dict)
+
+    @property
+    def is_primary(self) -> bool:
+        """Return whether this is a primary cloud."""
+        return self.kind is CloudKind.PRIMARY
+
+    @property
+    def is_secondary(self) -> bool:
+        """Return whether this is a secondary cloud."""
+        return self.kind is CloudKind.SECONDARY
+
+    def size(self) -> int:
+        """Return the number of member nodes."""
+        return len(self.members)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self.members
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cloud(id={self.cloud_id}, kind={self.kind.value}, "
+            f"members={sorted(self.members)})"
+        )
+
+
+class CloudRegistry:
+    """Bookkeeping for every cloud in the network.
+
+    The registry maintains three indices:
+
+    * ``cloud_id -> Cloud``
+    * ``node -> set of primary cloud ids`` the node belongs to
+    * ``node -> secondary cloud id`` (at most one — the algorithm's invariant
+      that a node takes at most one bridge duty)
+    """
+
+    def __init__(self) -> None:
+        self._clouds: dict[int, Cloud] = {}
+        self._node_primary: dict[NodeId, set[int]] = {}
+        self._node_secondary: dict[NodeId, int] = {}
+        self._next_id = 1
+
+    # -- creation / destruction ----------------------------------------------
+
+    def new_primary_cloud(self, members: Iterable[NodeId]) -> Cloud:
+        """Create and register a new (empty-edged) primary cloud over ``members``."""
+        cloud_id = self._next_id
+        self._next_id += 1
+        cloud = Cloud(
+            cloud_id=cloud_id,
+            kind=CloudKind.PRIMARY,
+            color=primary_color(cloud_id),
+            members=set(members),
+        )
+        self._clouds[cloud_id] = cloud
+        for node in cloud.members:
+            self._node_primary.setdefault(node, set()).add(cloud_id)
+        return cloud
+
+    def new_secondary_cloud(self, bridge_map: dict[int, NodeId]) -> Cloud:
+        """Create a secondary cloud from ``{primary_cloud_id: bridge_node}``.
+
+        Every bridge node must currently be free (not in any other secondary
+        cloud); they become non-free as a result of this call.
+        """
+        for primary_id, node in bridge_map.items():
+            require(primary_id in self._clouds, f"unknown primary cloud {primary_id}")
+            require(self._clouds[primary_id].is_primary, f"cloud {primary_id} is not primary")
+            require(self.is_free(node), f"node {node} is already a bridge node")
+        cloud_id = self._next_id
+        self._next_id += 1
+        cloud = Cloud(
+            cloud_id=cloud_id,
+            kind=CloudKind.SECONDARY,
+            color=secondary_color(cloud_id),
+            members=set(bridge_map.values()),
+            bridge_of=dict(bridge_map),
+        )
+        self._clouds[cloud_id] = cloud
+        for node in cloud.members:
+            self._node_secondary[node] = cloud_id
+        return cloud
+
+    def dissolve(self, cloud_id: int) -> Cloud:
+        """Unregister a cloud, releasing all membership records.
+
+        Members of a dissolved secondary cloud become free again.  The caller
+        is responsible for retiring the cloud's edges from the live graph.
+        """
+        require(cloud_id in self._clouds, f"unknown cloud {cloud_id}")
+        cloud = self._clouds.pop(cloud_id)
+        for node in cloud.members:
+            if cloud.is_primary:
+                memberships = self._node_primary.get(node, set())
+                memberships.discard(cloud_id)
+                if not memberships:
+                    self._node_primary.pop(node, None)
+            else:
+                if self._node_secondary.get(node) == cloud_id:
+                    del self._node_secondary[node]
+        return cloud
+
+    # -- membership updates ----------------------------------------------------
+
+    def add_member(self, cloud_id: int, node: NodeId) -> None:
+        """Add ``node`` to a cloud (used when sharing a free node between clouds)."""
+        cloud = self.get(cloud_id)
+        cloud.members.add(node)
+        if cloud.is_primary:
+            self._node_primary.setdefault(node, set()).add(cloud_id)
+        else:
+            existing = self._node_secondary.get(node)
+            require(
+                existing is None or existing == cloud_id,
+                f"node {node} already belongs to secondary cloud {existing}",
+            )
+            self._node_secondary[node] = cloud_id
+
+    def remove_member(self, cloud_id: int, node: NodeId) -> None:
+        """Remove ``node`` from a cloud (typically because the adversary deleted it)."""
+        cloud = self.get(cloud_id)
+        cloud.members.discard(node)
+        if cloud.is_primary:
+            memberships = self._node_primary.get(node, set())
+            memberships.discard(cloud_id)
+            if not memberships:
+                self._node_primary.pop(node, None)
+        else:
+            if self._node_secondary.get(node) == cloud_id:
+                del self._node_secondary[node]
+            cloud.bridge_of = {
+                primary_id: bridge
+                for primary_id, bridge in cloud.bridge_of.items()
+                if bridge != node
+            }
+
+    def remove_node_everywhere(self, node: NodeId) -> tuple[list[int], int | None]:
+        """Remove ``node`` from every cloud; return (primary ids, secondary id) it was in."""
+        primary_ids = sorted(self._node_primary.get(node, set()))
+        secondary_id = self._node_secondary.get(node)
+        for cloud_id in primary_ids:
+            self.remove_member(cloud_id, node)
+        if secondary_id is not None:
+            self.remove_member(secondary_id, node)
+        return primary_ids, secondary_id
+
+    def set_bridge(self, secondary_id: int, primary_id: int, node: NodeId) -> None:
+        """Register ``node`` as the bridge of ``primary_id`` inside ``secondary_id``."""
+        secondary = self.get(secondary_id)
+        require(secondary.is_secondary, f"cloud {secondary_id} is not secondary")
+        self.add_member(secondary_id, node)
+        secondary.bridge_of[primary_id] = node
+
+    def redirect_bridges(self, old_primary_ids: Iterable[int], new_primary_id: int) -> None:
+        """Redirect secondary-cloud associations after primary clouds were merged.
+
+        Any secondary cloud whose ``bridge_of`` references one of the merged
+        primary clouds is re-pointed at the merged cloud.  If several of the
+        old clouds bridged into the same secondary cloud, the first bridge is
+        kept as the association; the other nodes remain members of the
+        secondary cloud (their edges and non-free status are unchanged).
+        """
+        old_ids = set(old_primary_ids)
+        for cloud in self._clouds.values():
+            if not cloud.is_secondary:
+                continue
+            new_bridge_of: dict[int, NodeId] = {}
+            for primary_id, bridge in cloud.bridge_of.items():
+                target = new_primary_id if primary_id in old_ids else primary_id
+                if target not in new_bridge_of:
+                    new_bridge_of[target] = bridge
+            cloud.bridge_of = new_bridge_of
+
+    # -- queries -----------------------------------------------------------------
+
+    def get(self, cloud_id: int) -> Cloud:
+        """Return the cloud with the given id (raising on unknown ids)."""
+        require(cloud_id in self._clouds, f"unknown cloud {cloud_id}")
+        return self._clouds[cloud_id]
+
+    def clouds(self, kind: CloudKind | None = None) -> list[Cloud]:
+        """Return all clouds, optionally filtered by kind."""
+        if kind is None:
+            return list(self._clouds.values())
+        return [cloud for cloud in self._clouds.values() if cloud.kind is kind]
+
+    def primary_clouds_of(self, node: NodeId) -> list[int]:
+        """Return the ids of the primary clouds containing ``node`` (sorted)."""
+        return sorted(self._node_primary.get(node, set()))
+
+    def secondary_cloud_of(self, node: NodeId) -> int | None:
+        """Return the id of the (unique) secondary cloud containing ``node``, if any."""
+        return self._node_secondary.get(node)
+
+    def is_free(self, node: NodeId) -> bool:
+        """Return whether ``node`` is a free node (no secondary-cloud duty)."""
+        return node not in self._node_secondary
+
+    def free_members(self, cloud_id: int) -> list[NodeId]:
+        """Return the free members of a cloud (sorted, for determinism)."""
+        cloud = self.get(cloud_id)
+        return sorted(node for node in cloud.members if self.is_free(node))
+
+    def __len__(self) -> int:
+        return len(self._clouds)
+
+    def __iter__(self) -> Iterator[Cloud]:
+        return iter(self._clouds.values())
+
+    def __contains__(self, cloud_id: int) -> bool:
+        return cloud_id in self._clouds
+
+    # -- invariants ----------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify the registry's internal consistency (used by tests).
+
+        Raises :class:`repro.util.validation.ValidationError` on violation.
+        """
+        for node, cloud_ids in self._node_primary.items():
+            for cloud_id in cloud_ids:
+                require(cloud_id in self._clouds, f"dangling primary membership {node}->{cloud_id}")
+                require(node in self._clouds[cloud_id].members, f"node {node} missing from cloud {cloud_id}")
+        for node, cloud_id in self._node_secondary.items():
+            require(cloud_id in self._clouds, f"dangling secondary membership {node}->{cloud_id}")
+            require(node in self._clouds[cloud_id].members, f"node {node} missing from secondary {cloud_id}")
+        for cloud in self._clouds.values():
+            for node in cloud.members:
+                if cloud.is_primary:
+                    require(
+                        cloud.cloud_id in self._node_primary.get(node, set()),
+                        f"membership index missing {node}->{cloud.cloud_id}",
+                    )
+                else:
+                    require(
+                        self._node_secondary.get(node) == cloud.cloud_id,
+                        f"secondary index mismatch for node {node}",
+                    )
+            if cloud.is_secondary:
+                for primary_id, bridge in cloud.bridge_of.items():
+                    require(
+                        bridge in cloud.members,
+                        f"bridge {bridge} of cloud {primary_id} not a member of {cloud.cloud_id}",
+                    )

@@ -1,0 +1,77 @@
+"""Edge colours (Section 3 of the paper).
+
+Every edge of the network carries a colour:
+
+* **black** — the edge was part of the original graph or was inserted by the
+  adversary (``G'_t`` consists of exactly the black-origin edges).
+* **primary** — the edge belongs to a primary expander cloud; the paper says
+  "all primary colors are different shades of color red", i.e. each primary
+  cloud has a unique colour tagged as primary.
+* **secondary** — the edge belongs to a secondary expander cloud ("shades of
+  orange").
+
+The colour of a cloud is derived from the deleted node's identifier (the
+paper: "the ID of the deleted node can be chosen as the color"), disambiguated
+with a sequence number because several clouds can be created over the lifetime
+of the network from repairs triggered by the same region.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ColorKind(enum.Enum):
+    """The three colour families used by Xheal."""
+
+    BLACK = "black"
+    PRIMARY = "primary"
+    SECONDARY = "secondary"
+
+
+@dataclass(frozen=True)
+class EdgeColor:
+    """A concrete edge colour: a family plus a unique tag within the family.
+
+    Black is the unique colour with ``tag == 0``; cloud colours use the cloud
+    identifier as their tag, so two clouds never share a colour.
+    """
+
+    kind: ColorKind
+    tag: int = 0
+
+    @property
+    def is_black(self) -> bool:
+        """Return whether this is the black (non-cloud) colour."""
+        return self.kind is ColorKind.BLACK
+
+    @property
+    def is_primary(self) -> bool:
+        """Return whether this colour belongs to a primary cloud."""
+        return self.kind is ColorKind.PRIMARY
+
+    @property
+    def is_secondary(self) -> bool:
+        """Return whether this colour belongs to a secondary cloud."""
+        return self.kind is ColorKind.SECONDARY
+
+    def __str__(self) -> str:
+        if self.is_black:
+            return "black"
+        family = "red" if self.is_primary else "orange"
+        return f"{family}#{self.tag}"
+
+
+#: The single shared black colour instance.
+BLACK = EdgeColor(ColorKind.BLACK, 0)
+
+
+def primary_color(cloud_id: int) -> EdgeColor:
+    """Return the unique primary colour ("shade of red") for ``cloud_id``."""
+    return EdgeColor(ColorKind.PRIMARY, cloud_id)
+
+
+def secondary_color(cloud_id: int) -> EdgeColor:
+    """Return the unique secondary colour ("shade of orange") for ``cloud_id``."""
+    return EdgeColor(ColorKind.SECONDARY, cloud_id)

@@ -1,0 +1,98 @@
+"""Repair reports: the structured outcome of one healing step.
+
+Every healer (Xheal and all baselines) returns a :class:`RepairReport` from
+``handle_insertion`` / ``handle_deletion``.  The report carries enough detail
+for the analysis layer to account the paper's complexity measures (Theorem 5
+and Lemma 5) and for tests to assert on the algorithm's behaviour case by
+case.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.util.ids import NodeId
+
+
+class RepairAction(enum.Enum):
+    """Which branch of the algorithm a healing step took."""
+
+    NONE = "none"
+    INSERTION = "insertion"
+    CASE_1_NEW_PRIMARY = "case1_new_primary"
+    CASE_2_1_SECONDARY = "case2.1_secondary"
+    CASE_2_1_MERGE = "case2.1_merge"
+    CASE_2_2_FIX_SECONDARY = "case2.2_fix_secondary"
+    CASE_2_2_MERGE = "case2.2_merge"
+    BASELINE = "baseline"
+
+
+@dataclass
+class RepairReport:
+    """What one healing step did.
+
+    Attributes
+    ----------
+    timestep:
+        The adversarial timestep the repair belongs to.
+    deleted_node / inserted_node:
+        The node the adversary removed / added this step (at most one is set).
+    action:
+        The main algorithm branch taken (several may apply in one step; the
+        dominant one is recorded here and all are listed in ``actions``).
+    edges_added / edges_removed:
+        Edges the healer added to / removed from the live graph.
+    edges_recolored:
+        Edges whose colour changed without the edge itself changing.
+    clouds_created / clouds_repaired / clouds_merged:
+        Cloud identifiers touched in each way.
+    free_nodes_shared:
+        Nodes that were shared between primary clouds this step (each share
+        contributes ``+kappa`` to that node's degree, see Lemma 3).
+    messages:
+        Estimated message count of the step under the paper's cost model
+        (Theorem 5); the distributed simulator measures real counts instead.
+    rounds:
+        Estimated number of synchronous rounds of the step.
+    """
+
+    timestep: int = 0
+    deleted_node: NodeId | None = None
+    inserted_node: NodeId | None = None
+    action: RepairAction = RepairAction.NONE
+    actions: list[RepairAction] = field(default_factory=list)
+    edges_added: list[tuple[NodeId, NodeId]] = field(default_factory=list)
+    edges_removed: list[tuple[NodeId, NodeId]] = field(default_factory=list)
+    edges_recolored: list[tuple[NodeId, NodeId]] = field(default_factory=list)
+    clouds_created: list[int] = field(default_factory=list)
+    clouds_repaired: list[int] = field(default_factory=list)
+    clouds_merged: list[int] = field(default_factory=list)
+    free_nodes_shared: list[NodeId] = field(default_factory=list)
+    messages: int = 0
+    rounds: int = 0
+
+    def note_action(self, action: RepairAction) -> None:
+        """Record ``action``; the first non-trivial action becomes the dominant one."""
+        self.actions.append(action)
+        if self.action in (RepairAction.NONE, RepairAction.INSERTION):
+            self.action = action
+
+    @property
+    def total_edge_changes(self) -> int:
+        """Total structural churn of the step (added + removed edges)."""
+        return len(self.edges_added) + len(self.edges_removed)
+
+    def merge_counts(self) -> dict[str, int]:
+        """Return a flat count summary (useful for recorders and tests)."""
+        return {
+            "edges_added": len(self.edges_added),
+            "edges_removed": len(self.edges_removed),
+            "edges_recolored": len(self.edges_recolored),
+            "clouds_created": len(self.clouds_created),
+            "clouds_repaired": len(self.clouds_repaired),
+            "clouds_merged": len(self.clouds_merged),
+            "free_nodes_shared": len(self.free_nodes_shared),
+            "messages": self.messages,
+            "rounds": self.rounds,
+        }

@@ -1,0 +1,100 @@
+"""The ghost graph ``G'_t`` (Section 2, "Success metrics").
+
+``G'_t`` is "the graph, at timestep t, consisting solely of the original
+nodes (from G_0) and insertions without regard to deletions and healings".
+All of Theorem 2's guarantees are stated relative to this graph:
+
+* degree increase is ``degree(v, G_t) / degree(v, G'_t)``,
+* stretch is ``dist(x, y, G_t) / dist(x, y, G'_t)``,
+* the expansion and spectral guarantees compare ``h(G_t)`` / ``lambda(G_t)``
+  with ``h(G'_t)`` / ``lambda(G'_t)``.
+
+The ghost graph only ever grows; deleted nodes remain in it (with their
+edges), which is why comparisons against the healed graph restrict to nodes
+alive in both.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+from repro.util.ids import NodeId
+from repro.util.validation import require
+
+
+class GhostGraph:
+    """Monotonically growing record of original + adversarially inserted structure."""
+
+    def __init__(self, initial_graph: nx.Graph | None = None):
+        self._graph = nx.Graph()
+        self._deleted: set[NodeId] = set()
+        if initial_graph is not None:
+            self._graph.add_nodes_from(initial_graph.nodes())
+            self._graph.add_edges_from(initial_graph.edges())
+
+    # -- adversarial events ---------------------------------------------------
+
+    def record_insertion(self, node: NodeId, neighbors: Iterable[NodeId]) -> None:
+        """Record an adversarial insertion of ``node`` attached to ``neighbors``.
+
+        The neighbours must already exist in the ghost graph (the adversary
+        can only connect a new node to nodes currently in the system); they
+        may however be nodes that were deleted later — insertion order is
+        what matters, and the caller (the experiment harness) guarantees the
+        adversary only names currently-alive nodes.
+        """
+        require(node not in self._graph, f"node {node} was already inserted")
+        neighbor_list = list(neighbors)
+        for neighbor in neighbor_list:
+            require(neighbor in self._graph, f"insertion neighbor {neighbor} unknown to G'")
+        self._graph.add_node(node)
+        for neighbor in neighbor_list:
+            if neighbor != node:
+                self._graph.add_edge(node, neighbor)
+
+    def record_deletion(self, node: NodeId) -> None:
+        """Record that ``node`` was deleted (the ghost graph itself is unchanged)."""
+        require(node in self._graph, f"cannot delete unknown node {node}")
+        self._deleted.add(node)
+
+    # -- views -----------------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The full ghost graph ``G'_t`` (including deleted nodes)."""
+        return self._graph
+
+    def degree(self, node: NodeId) -> int:
+        """Return ``degree(node, G'_t)``; 0 if the node was never inserted."""
+        if node not in self._graph:
+            return 0
+        return self._graph.degree(node)
+
+    def deleted_nodes(self) -> set[NodeId]:
+        """Return the set of nodes the adversary has deleted so far."""
+        return set(self._deleted)
+
+    def alive_nodes(self) -> set[NodeId]:
+        """Return the nodes of ``G'_t`` that have not been deleted."""
+        return set(self._graph.nodes()) - self._deleted
+
+    def alive_subgraph(self) -> nx.Graph:
+        """Return the subgraph of ``G'_t`` induced on the alive nodes.
+
+        This is the natural comparison graph for pairwise-distance metrics
+        (deleted nodes cannot be endpoints of a stretch measurement).
+        """
+        return self._graph.subgraph(self.alive_nodes()).copy()
+
+    def number_of_nodes(self) -> int:
+        """Return ``n``, the number of nodes of ``G'_t`` (deleted ones included)."""
+        return self._graph.number_of_nodes()
+
+    def copy(self) -> "GhostGraph":
+        """Return an independent copy (used by what-if analyses)."""
+        clone = GhostGraph()
+        clone._graph = self._graph.copy()
+        clone._deleted = set(self._deleted)
+        return clone

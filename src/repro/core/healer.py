@@ -1,0 +1,165 @@
+"""The self-healer interface shared by Xheal and all baselines.
+
+The interface mirrors the model of Section 2 (Figure 1): the healer owns the
+live graph ``G_t``; the experiment harness plays the adversary, calling
+:meth:`SelfHealer.handle_insertion` and :meth:`SelfHealer.handle_deletion`
+once per timestep; the healer responds by adding (and possibly dropping)
+edges and returns a :class:`~repro.core.events.RepairReport` describing what
+it did.
+
+Insertions require no healing work in the paper's model ("Addition is
+straightforward, the algorithm takes no action. The added edges are colored
+black."), so the base class implements insertion fully and subclasses only
+implement the post-deletion healing hook.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+import networkx as nx
+
+from repro.core.colors import BLACK, EdgeColor
+from repro.core.events import RepairAction, RepairReport
+from repro.util.eventlog import EventKind, EventLog
+from repro.util.graphutils import ensure_simple
+from repro.util.ids import NodeId
+from repro.util.rng import SeededRng
+from repro.util.validation import require
+
+
+class SelfHealer(ABC):
+    """Abstract base class for self-healing algorithms.
+
+    Subclasses implement :meth:`_heal_after_deletion`; everything else
+    (graph ownership, insertion handling, bookkeeping, event logging) is
+    provided here so that Xheal and the baselines are driven identically by
+    the experiment harness.
+    """
+
+    #: Human-readable algorithm name (overridden by subclasses).
+    name: str = "abstract"
+
+    def __init__(self, seed: int = 0):
+        self._rng = SeededRng(seed)
+        self._graph = nx.Graph()
+        self._timestep = 0
+        self.event_log = EventLog()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def initialize(self, graph: nx.Graph) -> None:
+        """Adopt ``graph`` as the initial network ``G_0``.
+
+        All initial edges are coloured black.  The input graph is copied; the
+        healer never mutates the caller's graph.
+        """
+        ensure_simple(graph)
+        self._graph = nx.Graph()
+        self._graph.add_nodes_from(graph.nodes())
+        for u, v in graph.edges():
+            self._add_black_edge(u, v)
+        self._timestep = 0
+        self.event_log.clear()
+        self._after_initialize()
+
+    def _after_initialize(self) -> None:
+        """Hook for subclasses that need pre-processing (Figure 1's pre-processing phase)."""
+
+    # -- adversarial events --------------------------------------------------------
+
+    def handle_insertion(self, node: NodeId, neighbors: Iterable[NodeId]) -> RepairReport:
+        """Process the adversarial insertion of ``node`` attached to ``neighbors``."""
+        self._timestep += 1
+        require(node not in self._graph, f"node {node} already exists")
+        neighbor_list = sorted(set(neighbors))
+        for neighbor in neighbor_list:
+            require(neighbor in self._graph, f"insertion neighbor {neighbor} not in the network")
+            require(neighbor != node, "a node cannot be inserted adjacent to itself")
+        self._graph.add_node(node)
+        for neighbor in neighbor_list:
+            self._add_black_edge(node, neighbor)
+        report = RepairReport(
+            timestep=self._timestep, inserted_node=node, action=RepairAction.INSERTION
+        )
+        self.event_log.record(self._timestep, EventKind.INSERT, node=node, neighbors=neighbor_list)
+        self._after_insertion(node, neighbor_list, report)
+        return report
+
+    def handle_deletion(self, node: NodeId) -> RepairReport:
+        """Process the adversarial deletion of ``node`` and heal afterwards."""
+        self._timestep += 1
+        require(node in self._graph, f"cannot delete unknown node {node}")
+        neighbors = sorted(self._graph.neighbors(node))
+        incident_colors: dict[NodeId, EdgeColor] = {
+            neighbor: self._graph.edges[node, neighbor].get("color", BLACK)
+            for neighbor in neighbors
+        }
+        self._graph.remove_node(node)
+        report = RepairReport(timestep=self._timestep, deleted_node=node)
+        self.event_log.record(self._timestep, EventKind.DELETE, node=node, neighbors=neighbors)
+        self._heal_after_deletion(node, neighbors, incident_colors, report)
+        return report
+
+    # -- subclass hooks --------------------------------------------------------------
+
+    def _after_insertion(
+        self, node: NodeId, neighbors: list[NodeId], report: RepairReport
+    ) -> None:
+        """Hook called after an insertion was applied (most healers do nothing)."""
+
+    @abstractmethod
+    def _heal_after_deletion(
+        self,
+        deleted: NodeId,
+        neighbors: list[NodeId],
+        incident_colors: dict[NodeId, EdgeColor],
+        report: RepairReport,
+    ) -> None:
+        """Repair the network after ``deleted`` (with the given ex-neighbours) was removed."""
+
+    # -- graph access ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The live healed graph ``G_t`` (do not mutate from outside)."""
+        return self._graph
+
+    @property
+    def timestep(self) -> int:
+        """The number of adversarial events processed so far."""
+        return self._timestep
+
+    def degree(self, node: NodeId) -> int:
+        """Return the degree of ``node`` in the healed graph (0 if absent)."""
+        if node not in self._graph:
+            return 0
+        return self._graph.degree(node)
+
+    def nodes(self) -> set[NodeId]:
+        """Return the current node set of the healed graph."""
+        return set(self._graph.nodes())
+
+    # -- edge helpers shared with subclasses -----------------------------------------------
+
+    def _add_black_edge(self, u: NodeId, v: NodeId) -> bool:
+        """Add a black (adversarial/original) edge; returns whether the edge is new."""
+        if u == v:
+            return False
+        if self._graph.has_edge(u, v):
+            # An adversarial edge between nodes already connected by a healing
+            # edge: remember that the pair is also black so the edge survives
+            # any later retirement of the healing cloud.
+            self._graph.edges[u, v]["was_black"] = True
+            return False
+        self._graph.add_edge(u, v, color=BLACK, was_black=True, owners=set())
+        return True
+
+    def _add_plain_edge(self, u: NodeId, v: NodeId, report: RepairReport) -> bool:
+        """Add an (uncoloured) healing edge; used by baselines that ignore colours."""
+        if u == v or self._graph.has_edge(u, v):
+            return False
+        self._graph.add_edge(u, v, color=BLACK, was_black=False, owners=set())
+        report.edges_added.append((u, v))
+        return True

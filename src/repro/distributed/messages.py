@@ -1,0 +1,65 @@
+"""Message types exchanged by processors in the simulated LOCAL model.
+
+The LOCAL model allows arbitrarily large messages per edge per round, so a
+message here is a small structured object; what the benchmarks count is the
+*number* of messages (Theorem 5's communication complexity metric), not their
+size.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.ids import NodeId
+
+
+class MessageKind(enum.Enum):
+    """Protocol message kinds used by the distributed Xheal implementation."""
+
+    #: Sent by the model itself: neighbours learn of an adjacent deletion.
+    DELETION_NOTICE = "deletion_notice"
+    #: Leader-election tournament: a candidate contacts its current rival.
+    ELECTION_CHALLENGE = "election_challenge"
+    #: Leader-election tournament: the surviving candidate's acknowledgement.
+    ELECTION_ACK = "election_ack"
+    #: Winner announcement to all cloud members.
+    LEADER_ANNOUNCE = "leader_announce"
+    #: Leader informs a node of its expander edges inside a cloud.
+    CLOUD_ASSIGNMENT = "cloud_assignment"
+    #: Leader designates its vice-leader (state replication).
+    VICE_LEADER_SYNC = "vice_leader_sync"
+    #: A node asks a cloud leader for a free node.
+    FREE_NODE_QUERY = "free_node_query"
+    #: The leader's reply to a free-node query.
+    FREE_NODE_REPLY = "free_node_reply"
+    #: A node informs its cloud leader that it is no longer free.
+    FREE_STATUS_UPDATE = "free_status_update"
+    #: H-graph DELETE: reconnect predecessor and successor on a cycle.
+    CYCLE_RECONNECT = "cycle_reconnect"
+    #: H-graph INSERT: splice a node into a cycle next to the receiver.
+    CYCLE_SPLICE = "cycle_splice"
+    #: BFS construction during a cloud merge.
+    BFS_TOKEN = "bfs_token"
+    #: BFS convergecast of member addresses back to the merge leader.
+    BFS_REPORT = "bfs_report"
+    #: Leader broadcast of the merged cloud's structure.
+    MERGE_BROADCAST = "merge_broadcast"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message from ``sender`` to ``receiver``.
+
+    ``payload`` carries protocol-specific details (cloud id, edge lists,
+    candidate ids); it is never inspected by the accounting layer.
+    """
+
+    sender: NodeId
+    receiver: NodeId
+    kind: MessageKind
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Message({self.sender}->{self.receiver}, {self.kind.value})"

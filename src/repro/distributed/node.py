@@ -1,0 +1,91 @@
+"""Per-processor local state.
+
+Each node of the network is a processor that starts knowing only its
+neighbours (Figure 1) plus, after the O(1)-round pre-processing the paper
+allows, the addresses of its neighbours' neighbours (NoN).  During healing it
+additionally learns, per expander cloud it belongs to, the cloud's colour,
+its leader and vice-leader, and — if it *is* the leader — the full member and
+free-node lists (the invariants (a)-(d) of Theorem 5's proof).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.distributed.messages import Message
+from repro.util.ids import NodeId
+
+
+@dataclass
+class CloudView:
+    """What one processor knows about one cloud it belongs to."""
+
+    cloud_id: int
+    kind: str
+    leader: NodeId | None = None
+    vice_leader: NodeId | None = None
+    is_leader: bool = False
+    #: Leader-only state: all member addresses (invariant (c) in the paper).
+    members: set[NodeId] = field(default_factory=set)
+    #: Leader-only state: currently free members of this cloud.
+    free_members: set[NodeId] = field(default_factory=set)
+    #: This processor's expander edges inside the cloud.
+    cloud_edges: set[NodeId] = field(default_factory=set)
+
+
+@dataclass
+class Processor:
+    """The local state of one network node."""
+
+    node_id: NodeId
+    neighbors: set[NodeId] = field(default_factory=set)
+    #: Neighbour-of-neighbour table: neighbour -> that neighbour's neighbours.
+    non_table: dict[NodeId, set[NodeId]] = field(default_factory=dict)
+    clouds: dict[int, CloudView] = field(default_factory=dict)
+    inbox: list[Message] = field(default_factory=list)
+    outbox: list[Message] = field(default_factory=list)
+    messages_sent: int = 0
+    messages_received: int = 0
+
+    def send(self, message: Message) -> None:
+        """Queue a message for delivery at the end of the current round."""
+        self.outbox.append(message)
+        self.messages_sent += 1
+
+    def receive(self, message: Message) -> None:
+        """Accept a delivered message into the inbox."""
+        self.inbox.append(message)
+        self.messages_received += 1
+
+    def drain_inbox(self) -> list[Message]:
+        """Return and clear the inbox (processed once per round)."""
+        messages, self.inbox = self.inbox, []
+        return messages
+
+    # -- cloud views ------------------------------------------------------------
+
+    def cloud_view(self, cloud_id: int, kind: str = "primary") -> CloudView:
+        """Return (creating if necessary) this processor's view of a cloud."""
+        if cloud_id not in self.clouds:
+            self.clouds[cloud_id] = CloudView(cloud_id=cloud_id, kind=kind)
+        return self.clouds[cloud_id]
+
+    def forget_cloud(self, cloud_id: int) -> None:
+        """Drop all local state about a dissolved cloud."""
+        self.clouds.pop(cloud_id, None)
+
+    def known_addresses(self) -> set[NodeId]:
+        """Return every address this processor can name (locality check helper).
+
+        A processor may only ever be asked to contact nodes it knows about:
+        its neighbours, their neighbours (NoN), leaders of clouds it belongs
+        to, and members of clouds it leads.
+        """
+        known = {self.node_id} | set(self.neighbors)
+        for neighbor_set in self.non_table.values():
+            known |= neighbor_set
+        for view in self.clouds.values():
+            known |= {address for address in (view.leader, view.vice_leader) if address is not None}
+            known |= view.members
+            known |= view.cloud_edges
+        return known

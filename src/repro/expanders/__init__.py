@@ -1,0 +1,43 @@
+"""Distributed expander construction (Section 5 of the paper).
+
+Xheal builds its primary and secondary clouds out of kappa-regular expanders.
+The paper uses the randomized construction of Law and Siu [INFOCOM 2003]:
+an *H-graph* is a 2d-regular multigraph formed as the union of d Hamilton
+cycles.  A random H-graph is an expander with high probability (Friedman /
+Law-Siu, Theorem 4 of the paper), and the class is closed under the simple
+incremental ``INSERT`` / ``DELETE`` operations (Theorem 3), which is what
+makes the cloud maintenance cheap.
+
+This subpackage provides:
+
+* :class:`~repro.expanders.hgraph.HGraph` — the Hamilton-cycle data structure
+  with O(1)-work incremental insert/delete and projection to a simple graph.
+* :func:`~repro.expanders.construction.build_expander_edges` — the "make a
+  kappa-regular expander or a clique if too few nodes" helper Algorithm 3.2
+  (MakeCloud) relies on.
+* :mod:`~repro.expanders.verification` — empirical verification helpers for
+  the w.h.p. expansion guarantee.
+"""
+
+from repro.expanders.hgraph import HGraph, HGraphInvariantError
+from repro.expanders.construction import (
+    build_clique_edges,
+    build_expander_edges,
+    expander_or_clique,
+)
+from repro.expanders.verification import (
+    ExpanderCheck,
+    check_expander,
+    empirical_expansion_profile,
+)
+
+__all__ = [
+    "HGraph",
+    "HGraphInvariantError",
+    "build_clique_edges",
+    "build_expander_edges",
+    "expander_or_clique",
+    "ExpanderCheck",
+    "check_expander",
+    "empirical_expansion_profile",
+]

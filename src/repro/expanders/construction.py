@@ -1,0 +1,82 @@
+"""Cloud edge-set construction: ``MakeCloud`` (Algorithm 3.2 of the paper).
+
+Algorithm 3.2 is::
+
+    if |V| <= kappa + 1:  make a clique among V
+    else:                 make a kappa-regular expander among V
+
+The expander is realised as a Law-Siu H-graph with ``d = ceil(kappa / 2)``
+Hamilton cycles, so the (simple) degree of every node inside the cloud is at
+most ``kappa`` (rounded up to the next even number when kappa is odd).  The
+helpers below return *edge sets* rather than mutating a graph so the cloud
+layer can decide which edges are new, which already existed (and must only be
+recoloured, never duplicated) and which old edges to retire.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.expanders.hgraph import HGraph
+from repro.util.ids import NodeId
+from repro.util.rng import SeededRng
+from repro.util.validation import require
+
+
+def build_clique_edges(nodes: Iterable[NodeId]) -> set[tuple[NodeId, NodeId]]:
+    """Return the edge set of the complete graph over ``nodes``.
+
+    Used when the cloud is too small for a kappa-regular expander (the paper:
+    "If the number of neighbors is less than kappa, then a clique is
+    constructed among these nodes").  Zero or one node yields no edges.
+    """
+    unique = sorted(set(nodes))
+    edges: set[tuple[NodeId, NodeId]] = set()
+    for i in range(len(unique)):
+        for j in range(i + 1, len(unique)):
+            edges.add((unique[i], unique[j]))
+    return edges
+
+
+def hamilton_cycle_count(kappa: int) -> int:
+    """Return the number of Hamilton cycles needed for a degree-``kappa`` H-graph."""
+    require(kappa >= 2, "kappa must be at least 2")
+    return max(1, math.ceil(kappa / 2))
+
+
+def build_expander_edges(
+    nodes: Sequence[NodeId],
+    kappa: int,
+    rng: SeededRng,
+) -> set[tuple[NodeId, NodeId]]:
+    """Return the edge set of a (simple) kappa-regular random expander over ``nodes``.
+
+    The construction is the Law-Siu H-graph with ``ceil(kappa/2)`` Hamilton
+    cycles.  Requires at least ``kappa + 2`` nodes; callers below that size
+    should use :func:`build_clique_edges` (see :func:`expander_or_clique`).
+    """
+    unique = sorted(set(nodes))
+    require(len(unique) >= 3, "an expander needs at least 3 nodes")
+    d = hamilton_cycle_count(kappa)
+    hgraph = HGraph(unique, d=d, rng=rng, rebuild_at_half_loss=False)
+    return hgraph.simple_edges()
+
+
+def expander_or_clique(
+    nodes: Sequence[NodeId],
+    kappa: int,
+    rng: SeededRng,
+) -> set[tuple[NodeId, NodeId]]:
+    """Return ``MakeCloud``'s edge set: clique for small sets, expander otherwise.
+
+    The threshold follows Algorithm 3.2: with ``|V| <= kappa + 1`` nodes a
+    clique already has degree at most ``kappa`` and expansion at least 1, so
+    the clique is both cheaper and at least as good.
+    """
+    unique = sorted(set(nodes))
+    if len(unique) <= 1:
+        return set()
+    if len(unique) <= kappa + 1 or len(unique) < 3:
+        return build_clique_edges(unique)
+    return build_expander_edges(unique, kappa, rng)

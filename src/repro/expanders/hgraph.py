@@ -1,0 +1,265 @@
+"""Law-Siu H-graphs: unions of Hamilton cycles (Section 5 of the paper).
+
+An *H-graph* is a 2d-regular multigraph whose edge set is the union of d
+Hamilton cycles over the same vertex set.  The paper (following Law & Siu,
+INFOCOM 2003) uses H-graphs because they support fully incremental
+maintenance:
+
+* ``INSERT(u)`` — splice ``u`` into each cycle ``i`` between a uniformly
+  random node ``v_i`` and its successor,
+* ``DELETE(u)`` — remove ``u`` from every cycle and reconnect its
+  predecessor and successor,
+
+and because a *random* H-graph is an expander with edge expansion
+``Omega(d)`` with probability ``1 - O(n^{-p})`` (Theorem 4).  Theorem 3 states
+the class is closed under these operations: starting from a random H-graph
+and applying any sequence of INSERT/DELETE keeps the graph a random H-graph.
+
+The implementation below maintains the d cycles explicitly as successor /
+predecessor maps, exactly mirroring the ``nbr(u)_{-i}, nbr(u)_{i}`` labels
+the paper describes, and projects the multigraph onto a simple
+:class:`networkx.Graph` on demand (the paper notes the simple projection
+retains the w.h.p. guarantee for large enough d).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro.util.ids import NodeId
+from repro.util.rng import SeededRng
+from repro.util.validation import require
+
+
+class HGraphInvariantError(RuntimeError):
+    """Raised when an internal Hamilton-cycle invariant is violated."""
+
+
+class _HamiltonCycle:
+    """A single Hamilton cycle stored as successor/predecessor maps."""
+
+    def __init__(self, nodes: list[NodeId]):
+        require(len(nodes) >= 3, "a Hamilton cycle needs at least 3 nodes")
+        self.successor: dict[NodeId, NodeId] = {}
+        self.predecessor: dict[NodeId, NodeId] = {}
+        for i, node in enumerate(nodes):
+            nxt = nodes[(i + 1) % len(nodes)]
+            self.successor[node] = nxt
+            self.predecessor[nxt] = node
+
+    def __len__(self) -> int:
+        return len(self.successor)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self.successor
+
+    def nodes(self) -> list[NodeId]:
+        """Return the cycle's nodes in traversal order starting from an arbitrary node."""
+        if not self.successor:
+            return []
+        start = next(iter(self.successor))
+        order = [start]
+        current = self.successor[start]
+        while current != start:
+            order.append(current)
+            current = self.successor[current]
+        return order
+
+    def insert_after(self, anchor: NodeId, new_node: NodeId) -> None:
+        """Splice ``new_node`` between ``anchor`` and ``successor(anchor)``."""
+        require(anchor in self.successor, f"anchor {anchor} not in cycle")
+        require(new_node not in self.successor, f"node {new_node} already in cycle")
+        after = self.successor[anchor]
+        self.successor[anchor] = new_node
+        self.successor[new_node] = after
+        self.predecessor[after] = new_node
+        self.predecessor[new_node] = anchor
+
+    def delete(self, node: NodeId) -> None:
+        """Remove ``node`` and reconnect its predecessor and successor."""
+        require(node in self.successor, f"node {node} not in cycle")
+        require(len(self.successor) > 3, "cannot shrink a Hamilton cycle below 3 nodes")
+        before = self.predecessor[node]
+        after = self.successor[node]
+        del self.successor[node]
+        del self.predecessor[node]
+        self.successor[before] = after
+        self.predecessor[after] = before
+
+    def edges(self) -> Iterator[tuple[NodeId, NodeId]]:
+        """Yield the cycle's edges (each once, as ordered pairs along the cycle)."""
+        for node, nxt in self.successor.items():
+            yield (node, nxt)
+
+    def validate(self) -> None:
+        """Check the successor/predecessor maps describe one single cycle."""
+        if len(self.successor) != len(self.predecessor):
+            raise HGraphInvariantError("successor/predecessor maps have different sizes")
+        for node, nxt in self.successor.items():
+            if self.predecessor.get(nxt) != node:
+                raise HGraphInvariantError(f"predecessor of {nxt} is not {node}")
+        visited = self.nodes()
+        if len(visited) != len(self.successor):
+            raise HGraphInvariantError(
+                f"cycle traversal visited {len(visited)} of {len(self.successor)} nodes"
+            )
+
+
+class HGraph:
+    """A 2d-regular H-graph: the union of ``d`` Hamilton cycles.
+
+    Parameters
+    ----------
+    nodes:
+        The initial vertex set; at least 3 nodes are required (the paper
+        starts the construction at 3 nodes, where the H-graph is unique).
+    d:
+        The number of Hamilton cycles.  The resulting multigraph is
+        ``2d``-regular; the simple projection has degree at most ``2d``.
+    rng:
+        Seeded randomness source.  Each cycle is an independent uniformly
+        random Hamilton cycle, which is exactly the Law-Siu distribution.
+    rebuild_at_half_loss:
+        When ``True`` (the paper's recommendation at the end of Section 5),
+        the structure remembers its size at construction/last rebuild and
+        :meth:`should_rebuild` reports when at least half of the nodes have
+        been deleted since then, so callers can re-randomise the cycles and
+        restore the w.h.p. guarantee degraded by the union bound.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[NodeId],
+        d: int = 2,
+        rng: SeededRng | None = None,
+        rebuild_at_half_loss: bool = True,
+    ):
+        node_list = list(dict.fromkeys(nodes))
+        require(d >= 1, "d (number of Hamilton cycles) must be at least 1")
+        require(len(node_list) >= 3, "an H-graph needs at least 3 nodes")
+        self.d = d
+        self._rng = rng if rng is not None else SeededRng(0)
+        self.rebuild_at_half_loss = rebuild_at_half_loss
+        self._cycles: list[_HamiltonCycle] = []
+        self._nodes: set[NodeId] = set(node_list)
+        self._build_cycles(node_list)
+        self._size_at_last_rebuild = len(node_list)
+        self._deletions_since_rebuild = 0
+
+    # -- construction -------------------------------------------------------
+
+    def _build_cycles(self, node_list: list[NodeId]) -> None:
+        self._cycles = []
+        for _ in range(self.d):
+            permutation = self._rng.shuffled_copy(node_list)
+            self._cycles.append(_HamiltonCycle(permutation))
+
+    def rebuild(self) -> None:
+        """Re-randomise all cycles over the current vertex set.
+
+        Restores the "random H-graph" distribution after many deletions, as
+        the paper suggests doing once a cloud has lost half its nodes.
+        """
+        self._build_cycles(sorted(self._nodes))
+        self._size_at_last_rebuild = len(self._nodes)
+        self._deletions_since_rebuild = 0
+
+    def should_rebuild(self) -> bool:
+        """Return whether the half-loss rebuild policy asks for a rebuild now."""
+        if not self.rebuild_at_half_loss:
+            return False
+        return self._deletions_since_rebuild * 2 >= self._size_at_last_rebuild
+
+    # -- incremental maintenance -------------------------------------------
+
+    def insert(self, node: NodeId) -> None:
+        """``INSERT(u)``: splice ``node`` into each cycle at a random position."""
+        require(node not in self._nodes, f"node {node} already present")
+        for cycle in self._cycles:
+            anchor = self._rng.choice(sorted(cycle.successor))
+            cycle.insert_after(anchor, node)
+        self._nodes.add(node)
+
+    def delete(self, node: NodeId) -> None:
+        """``DELETE(u)``: remove ``node`` from every cycle, reconnecting around it.
+
+        The H-graph cannot shrink below 3 nodes; callers (the cloud layer)
+        switch to a clique representation below that size.
+        """
+        require(node in self._nodes, f"node {node} not present")
+        require(len(self._nodes) > 3, "an H-graph cannot shrink below 3 nodes")
+        for cycle in self._cycles:
+            cycle.delete(node)
+        self._nodes.remove(node)
+        self._deletions_since_rebuild += 1
+        if self.should_rebuild():
+            self.rebuild()
+
+    # -- views ---------------------------------------------------------------
+
+    def nodes(self) -> set[NodeId]:
+        """Return the current vertex set."""
+        return set(self._nodes)
+
+    def multigraph_edges(self) -> list[tuple[NodeId, NodeId]]:
+        """Return all cycle edges with multiplicity (the 2d-regular multigraph)."""
+        edges: list[tuple[NodeId, NodeId]] = []
+        for cycle in self._cycles:
+            edges.extend(cycle.edges())
+        return edges
+
+    def simple_edges(self) -> set[tuple[NodeId, NodeId]]:
+        """Return the simple-graph projection of the H-graph's edges.
+
+        Each unordered pair appears once; self-loops (possible only in the
+        degenerate 3-node multigraph cases) are dropped.
+        """
+        edges: set[tuple[NodeId, NodeId]] = set()
+        for u, v in self.multigraph_edges():
+            if u == v:
+                continue
+            edges.add((min(u, v), max(u, v)))
+        return edges
+
+    def to_graph(self) -> nx.Graph:
+        """Return the simple-graph projection as a :class:`networkx.Graph`."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self._nodes)
+        graph.add_edges_from(self.simple_edges())
+        return graph
+
+    def neighbor_labels(self, node: NodeId) -> dict[int, tuple[NodeId, NodeId]]:
+        """Return ``{cycle_index: (predecessor, successor)}`` for ``node``.
+
+        Mirrors the paper's ``nbr(u)_{-i}, nbr(u)_{i}`` addressing: these are
+        exactly the per-cycle links a processor would store locally.
+        """
+        require(node in self._nodes, f"node {node} not present")
+        labels: dict[int, tuple[NodeId, NodeId]] = {}
+        for i, cycle in enumerate(self._cycles, start=1):
+            labels[i] = (cycle.predecessor[node], cycle.successor[node])
+        return labels
+
+    def degree_bound(self) -> int:
+        """Return the maximum possible simple degree, ``2 d``."""
+        return 2 * self.d
+
+    def validate(self) -> None:
+        """Check all internal invariants; raise :class:`HGraphInvariantError` on failure."""
+        for cycle in self._cycles:
+            cycle.validate()
+            if set(cycle.successor) != self._nodes:
+                raise HGraphInvariantError("cycle vertex set differs from H-graph vertex set")
+        if len(self._cycles) != self.d:
+            raise HGraphInvariantError(f"expected {self.d} cycles, found {len(self._cycles)}")
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HGraph(n={len(self._nodes)}, d={self.d})"

@@ -1,0 +1,50 @@
+"""Experiment harness: workloads, the runner, sweeps and report printing.
+
+This is the layer the ``benchmarks/`` directory and the examples are built
+on.  A benchmark is: pick a workload (initial topology), an adversary, one or
+more healers, run them through :func:`run_experiment` for a number of
+timesteps, and print the resulting table with
+:mod:`repro.harness.reporting`.
+"""
+
+from repro.harness.workloads import (
+    WORKLOADS,
+    erdos_renyi_workload,
+    grid_workload,
+    power_law_workload,
+    random_regular_workload,
+    ring_workload,
+    star_workload,
+    two_cliques_workload,
+    workload_by_name,
+)
+from repro.harness.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+    run_healer_on_trace,
+)
+from repro.harness.sweeps import SweepResult, sweep_healers, sweep_parameter
+from repro.harness.reporting import format_table, print_comparison, print_table
+
+__all__ = [
+    "WORKLOADS",
+    "erdos_renyi_workload",
+    "grid_workload",
+    "power_law_workload",
+    "random_regular_workload",
+    "ring_workload",
+    "star_workload",
+    "two_cliques_workload",
+    "workload_by_name",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "run_healer_on_trace",
+    "SweepResult",
+    "sweep_healers",
+    "sweep_parameter",
+    "format_table",
+    "print_comparison",
+    "print_table",
+]

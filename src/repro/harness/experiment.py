@@ -1,0 +1,309 @@
+"""The experiment runner: drive a healer with an adversary and record metrics.
+
+The runner implements the model loop of Figure 1: at every timestep the
+adversary produces an insertion or a deletion, the ghost graph records it,
+the healer reacts, and the trackers/ledgers accumulate the Theorem 2 and
+Theorem 5 quantities.  The same adversarial *trace* can be replayed against
+several healers (``run_healer_on_trace``) so comparisons are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import networkx as nx
+
+from repro.adversary.base import Adversary, AdversaryEvent
+from repro.analysis.amortized import AmortizedCostSummary, CostLedger
+from repro.analysis.invariants import Theorem2Verdict, check_theorem2
+from repro.analysis.trackers import DegreeRatioTracker, MetricTimeline
+from repro.core.ghost import GhostGraph
+from repro.core.healer import SelfHealer
+from repro.spectral.metrics import GraphMetrics, snapshot_metrics
+from repro.util.validation import require
+
+
+@dataclass
+class ExperimentConfig:
+    """Configuration of one experiment run.
+
+    Attributes
+    ----------
+    healer_factory / adversary_factory:
+        Zero-argument callables producing a fresh healer / adversary; the
+        runner owns their lifecycle so sweeps can re-instantiate cleanly.
+    initial_graph:
+        The starting topology ``G_0`` (connected, simple).
+    timesteps:
+        Maximum number of adversarial events to play.
+    metric_every:
+        Record a full (expensive) metric snapshot every this many timesteps;
+        0 disables intermediate snapshots (a final snapshot is always taken).
+    kappa:
+        The kappa used for invariant checking / cost bounds (should match the
+        healer's kappa for Xheal; for baselines it only parameterises the
+        reporting).
+    check_invariants_every:
+        Run the full Theorem 2 check every this many timesteps (0 = only at
+        the end).
+    stretch_sample_pairs:
+        Number of node pairs sampled for stretch measurements (None = all).
+    """
+
+    healer_factory: Callable[[], SelfHealer]
+    adversary_factory: Callable[[], Adversary]
+    initial_graph: nx.Graph
+    timesteps: int = 100
+    metric_every: int = 0
+    kappa: int = 4
+    check_invariants_every: int = 0
+    exact_expansion_limit: int = 16
+    stretch_sample_pairs: int | None = 100
+    seed: int = 0
+
+
+@dataclass
+class ExperimentResult:
+    """Everything an experiment run produced."""
+
+    healer_name: str
+    adversary_name: str
+    timesteps_executed: int
+    insertions: int
+    deletions: int
+    final_graph: nx.Graph
+    ghost: GhostGraph
+    final_metrics: GraphMetrics
+    ghost_metrics: GraphMetrics
+    final_verdict: Theorem2Verdict
+    timeline: MetricTimeline
+    cost_summary: AmortizedCostSummary
+    worst_degree_ratio: float
+    trace: list[AdversaryEvent] = field(default_factory=list)
+    intermediate_verdicts: list[Theorem2Verdict] = field(default_factory=list)
+
+    @property
+    def connected(self) -> bool:
+        """Return whether the final healed graph is connected."""
+        graph = self.final_graph
+        return graph.number_of_nodes() <= 1 or nx.is_connected(graph)
+
+    def summary_row(self) -> dict[str, object]:
+        """Return a flat dict suitable for the report printers."""
+        return {
+            "healer": self.healer_name,
+            "adversary": self.adversary_name,
+            "steps": self.timesteps_executed,
+            "nodes": self.final_metrics.nodes,
+            "edges": self.final_metrics.edges,
+            "connected": self.connected,
+            "h(Gt)": round(self.final_metrics.edge_expansion, 4),
+            "h(G't)": round(self.ghost_metrics.edge_expansion, 4),
+            "lambda(Gt)": round(self.final_metrics.algebraic_connectivity, 4),
+            "lambda(G't)": round(self.ghost_metrics.algebraic_connectivity, 4),
+            "max_stretch": (
+                round(self.final_metrics.max_stretch, 3)
+                if self.final_metrics.max_stretch is not None
+                else None
+            ),
+            "max_degree_ratio": round(self.worst_degree_ratio, 3),
+            "amortized_msgs": round(self.cost_summary.amortized_messages, 1),
+            "theorem2_holds": self.final_verdict.all_hold,
+        }
+
+
+def _apply_event(
+    healer: SelfHealer, ghost: GhostGraph, event: AdversaryEvent
+) -> tuple[int, int]:
+    """Apply one adversarial event to healer and ghost; return (black_degree, messages)."""
+    if event.is_insertion:
+        ghost.record_insertion(event.node, event.neighbors)
+        healer.handle_insertion(event.node, event.neighbors)
+        return (0, 0)
+    black_degree = ghost.degree(event.node)
+    ghost.record_deletion(event.node)
+    report = healer.handle_deletion(event.node)
+    return (black_degree, report.messages if report.messages else report.total_edge_changes)
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one healer against one adversary from the configured initial graph."""
+    require(config.timesteps >= 1, "timesteps must be at least 1")
+    require(config.initial_graph.number_of_nodes() >= 2, "initial graph too small")
+
+    healer = config.healer_factory()
+    healer.initialize(config.initial_graph)
+    ghost = GhostGraph(config.initial_graph)
+    adversary = config.adversary_factory()
+    adversary.bind(config.initial_graph)
+
+    ledger = CostLedger(kappa=config.kappa)
+    degree_tracker = DegreeRatioTracker(kappa=config.kappa)
+    timeline = MetricTimeline(
+        exact_limit=config.exact_expansion_limit,
+        stretch_sample_pairs=config.stretch_sample_pairs,
+    )
+    trace: list[AdversaryEvent] = []
+    verdicts: list[Theorem2Verdict] = []
+    insertions = 0
+    deletions = 0
+    executed = 0
+
+    for timestep in range(1, config.timesteps + 1):
+        event = adversary.next_event(healer.graph, timestep)
+        if event is None:
+            break
+        trace.append(event)
+        executed += 1
+        if event.is_insertion:
+            insertions += 1
+        else:
+            deletions += 1
+
+        black_degree, messages = _apply_event(healer, ghost, event)
+        if event.is_deletion:
+            rounds = 0
+            ledger.record_deletion(
+                deleted=event.node,
+                black_degree=black_degree,
+                messages=messages,
+                rounds=rounds,
+                network_size=healer.graph.number_of_nodes(),
+            )
+        worst_ratio = degree_tracker.observe(healer.graph, ghost)
+
+        if config.metric_every and timestep % config.metric_every == 0:
+            timeline.record(timestep, healer.graph, ghost, worst_ratio)
+        if config.check_invariants_every and timestep % config.check_invariants_every == 0:
+            verdicts.append(
+                check_theorem2(
+                    healer.graph,
+                    ghost,
+                    kappa=config.kappa,
+                    exact_limit=config.exact_expansion_limit,
+                    sample_pairs=config.stretch_sample_pairs,
+                    seed=config.seed,
+                )
+            )
+
+    ghost_alive = ghost.alive_subgraph()
+    final_metrics = snapshot_metrics(
+        healer.graph,
+        ghost=ghost_alive,
+        exact_limit=config.exact_expansion_limit,
+        stretch_sample_pairs=config.stretch_sample_pairs,
+        seed=config.seed,
+    )
+    ghost_metrics = snapshot_metrics(
+        ghost.graph,
+        exact_limit=config.exact_expansion_limit,
+        stretch_sample_pairs=None,
+        seed=config.seed,
+    )
+    final_verdict = check_theorem2(
+        healer.graph,
+        ghost,
+        kappa=config.kappa,
+        exact_limit=config.exact_expansion_limit,
+        sample_pairs=config.stretch_sample_pairs,
+        seed=config.seed,
+    )
+
+    return ExperimentResult(
+        healer_name=healer.name,
+        adversary_name=adversary.name,
+        timesteps_executed=executed,
+        insertions=insertions,
+        deletions=deletions,
+        final_graph=healer.graph.copy(),
+        ghost=ghost,
+        final_metrics=final_metrics,
+        ghost_metrics=ghost_metrics,
+        final_verdict=final_verdict,
+        timeline=timeline,
+        cost_summary=ledger.summary(),
+        worst_degree_ratio=degree_tracker.max_ratio_seen,
+        trace=trace,
+        intermediate_verdicts=verdicts,
+    )
+
+
+def run_healer_on_trace(
+    healer: SelfHealer,
+    initial_graph: nx.Graph,
+    trace: Sequence[AdversaryEvent],
+    kappa: int = 4,
+    exact_expansion_limit: int = 16,
+    stretch_sample_pairs: int | None = 100,
+) -> ExperimentResult:
+    """Replay a fixed adversarial trace against ``healer`` (for fair comparisons).
+
+    The trace is typically taken from a previous :func:`run_experiment` result
+    so that several healers face exactly the same insertions and deletions.
+    Events naming nodes absent from the healer's graph are skipped defensively
+    (can only happen when a prior healer lost connectivity and the trace was
+    generated adaptively).
+    """
+    healer.initialize(initial_graph)
+    ghost = GhostGraph(initial_graph)
+    ledger = CostLedger(kappa=kappa)
+    degree_tracker = DegreeRatioTracker(kappa=kappa)
+    timeline = MetricTimeline(exact_limit=exact_expansion_limit, stretch_sample_pairs=stretch_sample_pairs)
+    insertions = 0
+    deletions = 0
+    executed = 0
+
+    for event in trace:
+        if event.is_deletion and event.node not in healer.graph:
+            continue
+        if event.is_insertion and event.node in healer.graph:
+            continue
+        executed += 1
+        if event.is_insertion:
+            insertions += 1
+            neighbors = tuple(node for node in event.neighbors if node in healer.graph)
+            if not neighbors:
+                continue
+            ghost.record_insertion(event.node, neighbors)
+            healer.handle_insertion(event.node, neighbors)
+        else:
+            deletions += 1
+            black_degree = ghost.degree(event.node)
+            ghost.record_deletion(event.node)
+            report = healer.handle_deletion(event.node)
+            ledger.record_deletion(
+                deleted=event.node,
+                black_degree=black_degree,
+                messages=report.messages if report.messages else report.total_edge_changes,
+                rounds=report.rounds,
+                network_size=healer.graph.number_of_nodes(),
+            )
+        degree_tracker.observe(healer.graph, ghost)
+
+    ghost_alive = ghost.alive_subgraph()
+    final_metrics = snapshot_metrics(
+        healer.graph, ghost=ghost_alive, exact_limit=exact_expansion_limit,
+        stretch_sample_pairs=stretch_sample_pairs,
+    )
+    ghost_metrics = snapshot_metrics(ghost.graph, exact_limit=exact_expansion_limit, stretch_sample_pairs=None)
+    final_verdict = check_theorem2(
+        healer.graph, ghost, kappa=kappa, exact_limit=exact_expansion_limit,
+        sample_pairs=stretch_sample_pairs,
+    )
+    return ExperimentResult(
+        healer_name=healer.name,
+        adversary_name="trace",
+        timesteps_executed=executed,
+        insertions=insertions,
+        deletions=deletions,
+        final_graph=healer.graph.copy(),
+        ghost=ghost,
+        final_metrics=final_metrics,
+        ghost_metrics=ghost_metrics,
+        final_verdict=final_verdict,
+        timeline=timeline,
+        cost_summary=ledger.summary(),
+        worst_degree_ratio=degree_tracker.max_ratio_seen,
+        trace=list(trace),
+    )

@@ -1,0 +1,71 @@
+"""Plain-text table printing for benchmark output.
+
+The benchmarks print the same rows/series the paper's evaluation talks about
+(expansion vs the ghost graph, degree ratios, stretch, amortised messages).
+Everything is plain text so it renders in a terminal and in the captured
+``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None) -> str:
+    """Format a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {column: len(column) for column in columns}
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = [_cell(row.get(column)) for column in columns]
+        rendered.append(cells)
+        for column, cell in zip(columns, cells):
+            widths[column] = max(widths[column], len(cell))
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    body = [
+        " | ".join(cell.ljust(widths[column]) for column, cell in zip(columns, cells))
+        for cells in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def print_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Print (and return) a formatted table, optionally with a title banner."""
+    text = format_table(rows, columns)
+    if title:
+        banner = f"=== {title} ==="
+        text = f"{banner}\n{text}"
+    print(text)
+    return text
+
+
+def print_comparison(
+    results: Iterable, title: str | None = None, columns: Sequence[str] | None = None
+) -> str:
+    """Print the ``summary_row()`` of several :class:`ExperimentResult` objects."""
+    rows = [result.summary_row() for result in results]
+    return print_table(rows, columns=columns, title=title)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[float]) -> str:
+    """Format an (x, y) series as two aligned columns (a text stand-in for a figure)."""
+    lines = [f"--- {name} ---"]
+    for x, y in zip(xs, ys):
+        lines.append(f"{_cell(x):>12}  {_cell(y)}")
+    return "\n".join(lines)

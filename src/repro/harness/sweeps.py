@@ -1,0 +1,67 @@
+"""Parameter sweeps built on top of the experiment runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Mapping, Sequence
+
+from repro.adversary.base import Adversary
+from repro.core.healer import SelfHealer
+from repro.harness.experiment import ExperimentConfig, ExperimentResult, run_experiment
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One point of a parameter sweep."""
+
+    label: str
+    parameter: object
+    result: ExperimentResult
+
+    def row(self) -> dict[str, object]:
+        """Return the experiment's summary row augmented with the sweep parameter."""
+        row = {"sweep": self.label, "parameter": self.parameter}
+        row.update(self.result.summary_row())
+        return row
+
+
+def sweep_parameter(
+    base_config: ExperimentConfig,
+    label: str,
+    values: Sequence[object],
+    configure: Callable[[ExperimentConfig, object], ExperimentConfig],
+) -> list[SweepResult]:
+    """Run the experiment once per parameter value.
+
+    ``configure(config, value)`` returns the config to use for that value
+    (typically built with :func:`dataclasses.replace`).
+    """
+    results: list[SweepResult] = []
+    for value in values:
+        config = configure(base_config, value)
+        results.append(SweepResult(label=label, parameter=value, result=run_experiment(config)))
+    return results
+
+
+def sweep_healers(
+    base_config: ExperimentConfig,
+    healers: Mapping[str, Callable[[], SelfHealer]],
+    adversary_factory: Callable[[], Adversary] | None = None,
+) -> list[SweepResult]:
+    """Run the same experiment once per healer (each against a fresh adversary).
+
+    Adversaries are deterministic given their seed, so every healer faces the
+    same strategy; healers that change the topology differently may still see
+    different adaptive choices, which is the model's intent (the adversary is
+    omniscient about topology).  For strictly identical traces use
+    :func:`repro.harness.experiment.run_healer_on_trace`.
+    """
+    results: list[SweepResult] = []
+    for name, factory in healers.items():
+        config = replace(
+            base_config,
+            healer_factory=factory,
+            adversary_factory=adversary_factory or base_config.adversary_factory,
+        )
+        results.append(SweepResult(label="healer", parameter=name, result=run_experiment(config)))
+    return results

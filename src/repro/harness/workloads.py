@@ -1,0 +1,117 @@
+"""Initial-topology generators for experiments.
+
+The paper motivates Xheal with reconfigurable networks — peer-to-peer
+overlays, wireless mesh networks, infrastructure networks — and its analysis
+highlights specific worst cases (the star) and reference classes (bounded
+degree expanders).  Each generator returns a connected simple
+:class:`networkx.Graph` with integer node ids starting at 0.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import networkx as nx
+
+from repro.util.validation import require
+
+
+def star_workload(n: int) -> nx.Graph:
+    """A star on ``n`` nodes (centre = node 0).
+
+    The paper's motivating worst case for tree-based healers: deleting the
+    centre leaves the healer to reconnect ``n - 1`` mutually unconnected
+    leaves.
+    """
+    require(n >= 3, "star needs at least 3 nodes")
+    return nx.star_graph(n - 1)
+
+
+def random_regular_workload(n: int, degree: int = 4, seed: int = 0) -> nx.Graph:
+    """A random ``degree``-regular graph — the canonical bounded-degree expander."""
+    require(n > degree, "n must exceed the degree")
+    require((n * degree) % 2 == 0, "n * degree must be even")
+    graph = nx.random_regular_graph(degree, n, seed=seed)
+    # Random regular graphs are connected w.h.p.; retry a few seeds if unlucky.
+    attempt = 0
+    while not nx.is_connected(graph) and attempt < 10:
+        attempt += 1
+        graph = nx.random_regular_graph(degree, n, seed=seed + attempt)
+    require(nx.is_connected(graph), "failed to generate a connected regular graph")
+    return graph
+
+
+def erdos_renyi_workload(n: int, average_degree: float = 6.0, seed: int = 0) -> nx.Graph:
+    """A connected Erdos-Renyi graph with the given expected average degree."""
+    require(n >= 4, "need at least 4 nodes")
+    probability = min(1.0, average_degree / max(1, n - 1))
+    graph = nx.gnp_random_graph(n, probability, seed=seed)
+    attempt = 0
+    while not nx.is_connected(graph) and attempt < 20:
+        attempt += 1
+        graph = nx.gnp_random_graph(n, probability, seed=seed + attempt)
+    if not nx.is_connected(graph):
+        # Stitch components together rather than failing: adversarial models
+        # assume a connected start.
+        components = [sorted(component) for component in nx.connected_components(graph)]
+        for first, second in zip(components, components[1:]):
+            graph.add_edge(first[0], second[0])
+    return graph
+
+
+def grid_workload(rows: int, cols: int | None = None) -> nx.Graph:
+    """A 2D grid graph relabelled to integer ids (wireless-mesh-like topology)."""
+    require(rows >= 2, "grid needs at least 2 rows")
+    if cols is None:
+        cols = rows
+    require(cols >= 2, "grid needs at least 2 columns")
+    grid = nx.grid_2d_graph(rows, cols)
+    return nx.convert_node_labels_to_integers(grid, ordering="sorted")
+
+
+def ring_workload(n: int) -> nx.Graph:
+    """A cycle on ``n`` nodes (minimum-degree connected topology)."""
+    require(n >= 3, "ring needs at least 3 nodes")
+    return nx.cycle_graph(n)
+
+
+def power_law_workload(n: int, m: int = 2, seed: int = 0) -> nx.Graph:
+    """A Barabasi-Albert preferential-attachment graph (P2P-overlay-like hubs)."""
+    require(n > m >= 1, "need n > m >= 1")
+    return nx.barabasi_albert_graph(n, m, seed=seed)
+
+
+def two_cliques_workload(n: int, expander_degree: int = 4, seed: int = 0) -> nx.Graph:
+    """A constant-degree expander with a clique added on each half of its nodes.
+
+    The paper's Section 1.1 example: "consider a constant degree expander of n
+    nodes and partition the vertex set into two equal parts.  Make each of the
+    parts a clique.  This graph has expansion at least a constant, but its
+    conductance is O(1/n)" — so edge expansion alone misses the polynomial
+    mixing time, which is why the Cheeger constant / lambda_2 matter.
+    """
+    require(n >= 8 and n % 2 == 0, "need an even n >= 8")
+    graph = random_regular_workload(n, expander_degree, seed=seed)
+    half = n // 2
+    for offset in (0, half):
+        for i in range(half):
+            for j in range(i + 1, half):
+                graph.add_edge(offset + i, offset + j)
+    return graph
+
+
+WORKLOADS: dict[str, Callable[..., nx.Graph]] = {
+    "star": star_workload,
+    "random-regular": random_regular_workload,
+    "erdos-renyi": erdos_renyi_workload,
+    "grid": grid_workload,
+    "ring": ring_workload,
+    "power-law": power_law_workload,
+    "two-cliques": two_cliques_workload,
+}
+
+
+def workload_by_name(name: str, **kwargs) -> nx.Graph:
+    """Instantiate a workload by its registry name."""
+    require(name in WORKLOADS, f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}")
+    return WORKLOADS[name](**kwargs)

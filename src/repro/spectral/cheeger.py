@@ -1,0 +1,148 @@
+"""Cheeger constant (conductance) ``phi(G)`` (Section 1.1, "Cheeger constant").
+
+The paper defines::
+
+    phi(G) = min_S  |E(S, S-bar)| / min(vol(S), vol(S-bar))
+
+where ``vol(S)`` is the sum of degrees of vertices in ``S``.  For k-regular
+graphs ``phi = h / k``; for irregular graphs the two can differ dramatically —
+the paper's two-cliques example (expansion constant, conductance ``O(1/n)``)
+is reproduced in ``benchmarks/bench_cheeger_example.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable
+
+import networkx as nx
+import numpy as np
+
+from repro.util.ids import NodeId
+from repro.util.rng import SeededRng
+from repro.util.validation import require
+
+DEFAULT_EXACT_LIMIT = 18
+
+
+@dataclass(frozen=True)
+class CheegerResult:
+    """Result of a conductance minimisation."""
+
+    value: float
+    cut: frozenset[NodeId]
+    exact: bool
+
+
+def _volume(graph: nx.Graph, members: set[NodeId]) -> int:
+    return sum(degree for node, degree in graph.degree(members))
+
+
+def cheeger_constant_of_cut(graph: nx.Graph, cut: Iterable[NodeId]) -> float:
+    """Return the conductance of the explicit cut ``S = cut``."""
+    members = set(cut)
+    require(bool(members), "cut must be non-empty")
+    require(len(members) < graph.number_of_nodes(), "cut must be a strict subset of V")
+    crossing = sum(1 for u, v in graph.edges() if (u in members) != (v in members))
+    vol_s = _volume(graph, members)
+    vol_rest = 2 * graph.number_of_edges() - vol_s
+    denominator = min(vol_s, vol_rest)
+    if denominator == 0:
+        return 0.0
+    return crossing / denominator
+
+
+def _exact_cheeger(graph: nx.Graph) -> CheegerResult:
+    nodes = list(graph.nodes())
+    n = len(nodes)
+    best_value = float("inf")
+    best_cut: frozenset[NodeId] = frozenset()
+    # Conductance only needs subsets up to half the *volume*; enumerating all
+    # subsets of size <= n-1 and letting the min(vol, vol-bar) handle symmetry
+    # is simplest; restrict to size <= n/2 by symmetry of the definition.
+    for size in range(1, n // 2 + 1):
+        for subset in itertools.combinations(nodes, size):
+            value = cheeger_constant_of_cut(graph, subset)
+            if value < best_value:
+                best_value = value
+                best_cut = frozenset(subset)
+                if best_value == 0.0:
+                    return CheegerResult(0.0, best_cut, exact=True)
+    return CheegerResult(best_value, best_cut, exact=True)
+
+
+def conductance_sweep(graph: nx.Graph) -> CheegerResult:
+    """Return the best conductance cut found by the Fiedler sweep heuristic.
+
+    This is the standard spectral-partitioning sweep: order the vertices by
+    the Fiedler vector of the *normalized* Laplacian and take the best prefix.
+    The returned value is an upper bound on ``phi(G)``; by Cheeger's
+    inequality it is within a quadratic factor of optimal.
+    """
+    nodes = list(graph.nodes())
+    n = len(nodes)
+    require(n >= 2, "conductance needs at least 2 nodes")
+    if graph.number_of_edges() == 0 or not nx.is_connected(graph):
+        # Any single component (or isolated vertex) is a zero-conductance cut.
+        components = list(nx.connected_components(graph))
+        smallest = min(components, key=lambda c: _volume(graph, set(c)))
+        if len(smallest) == n:
+            smallest = {next(iter(smallest))}
+        return CheegerResult(0.0, frozenset(smallest), exact=False)
+    try:
+        fiedler = nx.fiedler_vector(graph, method="tracemin_lu", normalized=True)
+    except (nx.NetworkXError, np.linalg.LinAlgError):
+        fiedler = None
+    if fiedler is None:
+        order = nodes
+    else:
+        order = [node for _, node in sorted(zip(fiedler, nodes), key=lambda pair: pair[0])]
+    best_value = float("inf")
+    best_cut: frozenset[NodeId] = frozenset()
+    for size in range(1, n):
+        prefix = order[:size]
+        value = cheeger_constant_of_cut(graph, prefix)
+        if value < best_value:
+            best_value = value
+            best_cut = frozenset(prefix)
+    return CheegerResult(best_value, best_cut, exact=False)
+
+
+def cheeger_constant(
+    graph: nx.Graph,
+    exact_limit: int = DEFAULT_EXACT_LIMIT,
+    samples: int = 64,
+    seed: int = 0,
+) -> float:
+    """Return ``phi(G)`` — exact for small graphs, sweep+sampled bound otherwise."""
+    n = graph.number_of_nodes()
+    require(n >= 2, "conductance needs at least 2 nodes")
+    if not nx.is_connected(graph):
+        return 0.0
+    if n <= exact_limit:
+        return _exact_cheeger(graph).value
+    best = conductance_sweep(graph).value
+    rng = SeededRng(seed)
+    nodes = list(graph.nodes())
+    for _ in range(samples):
+        size = rng.randint(1, max(1, n // 2))
+        cut = rng.sample(nodes, size)
+        best = min(best, cheeger_constant_of_cut(graph, cut))
+    # Singleton cuts are cheap and often tight on irregular graphs.
+    for node in nodes:
+        best = min(best, cheeger_constant_of_cut(graph, [node]))
+    return best
+
+
+def cheeger_bounds_from_lambda(lambda_normalized: float) -> tuple[float, float]:
+    """Return ``(lower, upper)`` bounds on ``phi`` from Theorem 1 of the paper.
+
+    The paper states the Cheeger inequality as ``2 phi >= lambda > phi^2 / 2``,
+    i.e. ``lambda / 2 <= phi <= sqrt(2 lambda)`` where ``lambda`` is the second
+    smallest eigenvalue of the normalized Laplacian.
+    """
+    require(lambda_normalized >= 0, "lambda must be non-negative")
+    lower = lambda_normalized / 2.0
+    upper = float(np.sqrt(2.0 * lambda_normalized))
+    return (lower, upper)

@@ -1,0 +1,146 @@
+"""Network stretch (success metric 3 of the model, Figure 1).
+
+Stretch compares distances in the healed graph ``G_t`` against the
+insertions-only ghost graph ``G'_t``::
+
+    stretch = max_{x, y in G_t}  dist(x, y, G_t) / dist(x, y, G'_t)
+
+Only node pairs present in *both* graphs (i.e. surviving, non-deleted nodes)
+are compared, and pairs disconnected in the ghost graph are skipped: the
+ghost graph can be disconnected even when the healed graph is connected
+(healing edges do not exist in ``G'_t``), and the paper's guarantee is only
+about pairs whose ghost distance is finite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import networkx as nx
+
+from repro.util.ids import NodeId
+from repro.util.rng import SeededRng
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class StretchSummary:
+    """Aggregate stretch statistics for a (healed, ghost) graph pair."""
+
+    max_stretch: float
+    average_stretch: float
+    pairs_compared: int
+    pairs_skipped_disconnected: int
+
+    @property
+    def log_n_ratio(self) -> float:
+        """``max_stretch / log2(n)`` — the quantity Theorem 2(2) bounds by O(1).
+
+        Returns ``inf`` when fewer than 2 nodes were compared.
+        """
+        if self.pairs_compared == 0:
+            return float("inf")
+        return self.max_stretch / max(1.0, math.log2(max(2, self.pairs_compared)))
+
+
+def pairwise_stretch(
+    healed: nx.Graph,
+    ghost: nx.Graph,
+    pairs: Iterable[tuple[NodeId, NodeId]] | None = None,
+) -> dict[tuple[NodeId, NodeId], float]:
+    """Return the stretch of each comparable node pair.
+
+    Parameters
+    ----------
+    healed:
+        The current graph ``G_t`` (after healing).
+    ghost:
+        The insertions-only graph ``G'_t``.
+    pairs:
+        Optional explicit pairs to evaluate.  When omitted, all pairs of nodes
+        present in both graphs are evaluated (O(n^2) shortest-path queries).
+
+    Pairs disconnected in the ghost graph are omitted from the result.  Pairs
+    disconnected in the healed graph but connected in the ghost graph are
+    reported with stretch ``inf`` (a healing failure).
+    """
+    common = sorted(set(healed.nodes()) & set(ghost.nodes()))
+    if pairs is None:
+        pairs = [
+            (common[i], common[j])
+            for i in range(len(common))
+            for j in range(i + 1, len(common))
+        ]
+    healed_dist = dict(nx.all_pairs_shortest_path_length(healed))
+    ghost_dist = dict(nx.all_pairs_shortest_path_length(ghost))
+    result: dict[tuple[NodeId, NodeId], float] = {}
+    for u, v in pairs:
+        if u not in ghost_dist or v not in ghost_dist.get(u, {}):
+            continue
+        d_ghost = ghost_dist[u][v]
+        if d_ghost == 0:
+            continue
+        d_healed = healed_dist.get(u, {}).get(v)
+        if d_healed is None:
+            result[(u, v)] = float("inf")
+        else:
+            result[(u, v)] = d_healed / d_ghost
+    return result
+
+
+def stretch_against_ghost(
+    healed: nx.Graph,
+    ghost: nx.Graph,
+    sample_pairs: int | None = None,
+    seed: int = 0,
+) -> StretchSummary:
+    """Return aggregate stretch statistics of ``healed`` against ``ghost``.
+
+    ``sample_pairs`` bounds the number of node pairs examined (uniform random
+    sample); ``None`` means all pairs, which is quadratic in the number of
+    common nodes.
+    """
+    common = sorted(set(healed.nodes()) & set(ghost.nodes()))
+    require(len(common) >= 2, "need at least two common nodes to measure stretch")
+    all_pairs = [
+        (common[i], common[j])
+        for i in range(len(common))
+        for j in range(i + 1, len(common))
+    ]
+    if sample_pairs is not None and sample_pairs < len(all_pairs):
+        rng = SeededRng(seed)
+        pairs = rng.sample(all_pairs, sample_pairs)
+    else:
+        pairs = all_pairs
+
+    stretches = pairwise_stretch(healed, ghost, pairs)
+    skipped = len(pairs) - len(stretches)
+    if not stretches:
+        return StretchSummary(
+            max_stretch=0.0,
+            average_stretch=0.0,
+            pairs_compared=0,
+            pairs_skipped_disconnected=skipped,
+        )
+    values = list(stretches.values())
+    finite = [value for value in values if math.isfinite(value)]
+    max_value = max(values)
+    avg_value = sum(finite) / len(finite) if finite else float("inf")
+    return StretchSummary(
+        max_stretch=max_value,
+        average_stretch=avg_value,
+        pairs_compared=len(stretches),
+        pairs_skipped_disconnected=skipped,
+    )
+
+
+def max_stretch(healed: nx.Graph, ghost: nx.Graph, sample_pairs: int | None = None, seed: int = 0) -> float:
+    """Return the maximum pairwise stretch (Theorem 2(2)'s left-hand side)."""
+    return stretch_against_ghost(healed, ghost, sample_pairs=sample_pairs, seed=seed).max_stretch
+
+
+def average_stretch(healed: nx.Graph, ghost: nx.Graph, sample_pairs: int | None = None, seed: int = 0) -> float:
+    """Return the average pairwise stretch over comparable pairs."""
+    return stretch_against_ghost(healed, ghost, sample_pairs=sample_pairs, seed=seed).average_stretch

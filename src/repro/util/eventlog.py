@@ -1,0 +1,92 @@
+"""Structured event log for simulation runs.
+
+Every insertion, deletion and repair action is appended to an
+:class:`EventLog` so that experiments can be replayed, audited and turned into
+the figure traces the paper illustrates (Figures 1-6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+class EventKind(enum.Enum):
+    """Kinds of events recorded during a simulation."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+    EDGE_ADDED = "edge_added"
+    EDGE_REMOVED = "edge_removed"
+    EDGE_RECOLORED = "edge_recolored"
+    CLOUD_CREATED = "cloud_created"
+    CLOUD_REPAIRED = "cloud_repaired"
+    CLOUD_MERGED = "cloud_merged"
+    SECONDARY_CREATED = "secondary_created"
+    SECONDARY_REPAIRED = "secondary_repaired"
+    LEADER_ELECTED = "leader_elected"
+    MESSAGE_SENT = "message_sent"
+    ROUND_COMPLETED = "round_completed"
+    NOTE = "note"
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single timestamped event.
+
+    Attributes
+    ----------
+    timestep:
+        The adversarial timestep (t in the paper) during which the event
+        happened.  Pre-processing events use timestep ``0``.
+    kind:
+        The :class:`EventKind` of the event.
+    payload:
+        Arbitrary JSON-serialisable detail (node ids, cloud colours, counts).
+    """
+
+    timestep: int
+    kind: EventKind
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only log of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+
+    def record(self, timestep: int, kind: EventKind, **payload: Any) -> Event:
+        """Append and return a new event."""
+        event = Event(timestep=timestep, kind=kind, payload=dict(payload))
+        self._events.append(event)
+        return event
+
+    def events(self, kind: EventKind | None = None, timestep: int | None = None) -> list[Event]:
+        """Return events optionally filtered by kind and/or timestep."""
+        selected = self._events
+        if kind is not None:
+            selected = [event for event in selected if event.kind is kind]
+        if timestep is not None:
+            selected = [event for event in selected if event.timestep == timestep]
+        return list(selected)
+
+    def count(self, kind: EventKind | None = None) -> int:
+        """Return the number of events (of ``kind`` if given)."""
+        if kind is None:
+            return len(self._events)
+        return sum(1 for event in self._events if event.kind is kind)
+
+    def clear(self) -> None:
+        """Discard all recorded events."""
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]

@@ -1,0 +1,96 @@
+"""Small graph helpers shared across the library.
+
+All graphs in the library are undirected simple :class:`networkx.Graph`
+instances whose nodes are :data:`repro.util.ids.NodeId` integers.  Edge
+attributes carry healing metadata (colour, cloud membership); these helpers
+are agnostic to attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+from repro.util.ids import NodeId
+
+
+def copy_graph(graph: nx.Graph) -> nx.Graph:
+    """Return a deep-enough copy of ``graph`` (nodes, edges, attributes)."""
+    return graph.copy()
+
+
+def is_simple(graph: nx.Graph) -> bool:
+    """Return whether ``graph`` has no self-loops (nx.Graph cannot hold multi-edges)."""
+    return nx.number_of_selfloops(graph) == 0
+
+
+def ensure_simple(graph: nx.Graph) -> None:
+    """Raise :class:`ValueError` if ``graph`` contains self-loops."""
+    loops = list(nx.selfloop_edges(graph))
+    if loops:
+        raise ValueError(f"graph contains {len(loops)} self-loop(s), e.g. {loops[0]}")
+
+
+def neighbors_of(graph: nx.Graph, node: NodeId) -> list[NodeId]:
+    """Return the sorted list of neighbours of ``node``."""
+    return sorted(graph.neighbors(node))
+
+
+def induced_degree(graph: nx.Graph, node: NodeId, subset: Iterable[NodeId]) -> int:
+    """Return the number of neighbours of ``node`` inside ``subset``."""
+    members = set(subset)
+    return sum(1 for neighbor in graph.neighbors(node) if neighbor in members)
+
+
+def safe_remove_node(graph: nx.Graph, node: NodeId) -> list[tuple[NodeId, NodeId]]:
+    """Remove ``node`` and return the list of edges that were removed with it.
+
+    Returns an empty list when the node is not present (removal is a no-op).
+    """
+    if node not in graph:
+        return []
+    removed = [(node, neighbor) for neighbor in graph.neighbors(node)]
+    graph.remove_node(node)
+    return removed
+
+
+def connected_components_count(graph: nx.Graph) -> int:
+    """Return the number of connected components (0 for the empty graph)."""
+    if graph.number_of_nodes() == 0:
+        return 0
+    return nx.number_connected_components(graph)
+
+
+def add_edge_if_absent(graph: nx.Graph, u: NodeId, v: NodeId, **attrs) -> bool:
+    """Add edge ``(u, v)`` unless it already exists or is a self-loop.
+
+    Returns ``True`` if a new edge was added.  Mirrors the paper's rule that
+    Xheal never creates multi-edges: if the expander construction mandates an
+    edge that already exists, the existing edge is merely re-used.
+    """
+    if u == v:
+        return False
+    if graph.has_edge(u, v):
+        return False
+    graph.add_edge(u, v, **attrs)
+    return True
+
+
+def degree_map(graph: nx.Graph) -> dict[NodeId, int]:
+    """Return ``{node: degree}`` for all nodes of ``graph``."""
+    return dict(graph.degree())
+
+
+def max_degree(graph: nx.Graph) -> int:
+    """Return the maximum degree of ``graph`` (0 for the empty graph)."""
+    if graph.number_of_nodes() == 0:
+        return 0
+    return max(degree for _, degree in graph.degree())
+
+
+def min_degree(graph: nx.Graph) -> int:
+    """Return the minimum degree of ``graph`` (0 for the empty graph)."""
+    if graph.number_of_nodes() == 0:
+        return 0
+    return min(degree for _, degree in graph.degree())

@@ -1,0 +1,73 @@
+"""Node identifier management.
+
+Every node in the simulated network carries a unique integer identifier.  The
+paper assumes "every node gets a unique ID whenever it is inserted to the
+network" (Section 3) and uses the ID of a deleted node as the colour of the
+expander cloud built in its place.  The :class:`IdAllocator` below is the
+single source of such identifiers for a simulation run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+NodeId = int
+"""Type alias used throughout the library for node identifiers."""
+
+
+@dataclass
+class IdAllocator:
+    """Monotonically increasing allocator for :data:`NodeId` values.
+
+    Parameters
+    ----------
+    next_id:
+        The first identifier that will be handed out.  When a simulation is
+        seeded with an existing graph the allocator should start above the
+        largest identifier already in use (see :meth:`from_existing`).
+    """
+
+    next_id: NodeId = 0
+    _allocated: set[NodeId] = field(default_factory=set, repr=False)
+
+    @classmethod
+    def from_existing(cls, existing: Iterable[NodeId]) -> "IdAllocator":
+        """Create an allocator that will never collide with ``existing`` ids."""
+        existing = set(existing)
+        start = max(existing) + 1 if existing else 0
+        allocator = cls(next_id=start)
+        allocator._allocated.update(existing)
+        return allocator
+
+    def allocate(self) -> NodeId:
+        """Return a fresh, never-before-seen identifier."""
+        value = self.next_id
+        self.next_id += 1
+        self._allocated.add(value)
+        return value
+
+    def allocate_many(self, count: int) -> list[NodeId]:
+        """Return ``count`` fresh identifiers."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return [self.allocate() for _ in range(count)]
+
+    def reserve(self, node_id: NodeId) -> None:
+        """Mark ``node_id`` as used (e.g. ids present in an initial graph)."""
+        self._allocated.add(node_id)
+        if node_id >= self.next_id:
+            self.next_id = node_id + 1
+
+    def is_allocated(self, node_id: NodeId) -> bool:
+        """Return whether ``node_id`` has ever been handed out or reserved."""
+        return node_id in self._allocated
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return self.is_allocated(node_id)
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(sorted(self._allocated))
+
+    def __len__(self) -> int:
+        return len(self._allocated)

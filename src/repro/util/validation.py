@@ -1,0 +1,42 @@
+"""Lightweight argument validation helpers.
+
+The public API of the library validates its inputs eagerly and raises
+:class:`ValidationError` with an explicit message rather than failing deep
+inside a simulation with an obscure networkx error.
+"""
+
+from __future__ import annotations
+
+
+class ValidationError(ValueError):
+    """Raised when a public API receives an invalid argument."""
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Require ``value > 0``."""
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value!r}")
+
+
+def require_non_negative(value: float, name: str) -> None:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ValidationError(f"{name} must be non-negative, got {value!r}")
+
+
+def require_probability(value: float, name: str) -> None:
+    """Require ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must be a probability in [0, 1], got {value!r}")
+
+
+def require_in(value, options, name: str) -> None:
+    """Require ``value`` to be one of ``options``."""
+    if value not in options:
+        raise ValidationError(f"{name} must be one of {sorted(options)!r}, got {value!r}")

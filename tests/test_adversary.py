@@ -1,0 +1,139 @@
+"""Tests for the adversary strategies."""
+
+import networkx as nx
+import pytest
+
+from repro.adversary import (
+    AdversaryEvent,
+    CascadeAdversary,
+    DeletionOnlyAdversary,
+    EventType,
+    InsertionOnlyAdversary,
+    MaxDegreeAdversary,
+    MinDegreeAdversary,
+    RandomAdversary,
+    ScriptedAdversary,
+    StarCenterAdversary,
+)
+from repro.util.validation import ValidationError
+
+
+def bound(adversary, graph):
+    adversary.bind(graph)
+    return adversary
+
+
+def test_event_flags():
+    insert = AdversaryEvent(EventType.INSERT, 5, (1, 2))
+    delete = AdversaryEvent(EventType.DELETE, 5)
+    assert insert.is_insertion and not insert.is_deletion
+    assert delete.is_deletion and not delete.is_insertion
+
+
+def test_adversary_requires_bind_before_insertion():
+    adversary = InsertionOnlyAdversary(seed=1)
+    with pytest.raises(RuntimeError):
+        adversary.next_event(nx.path_graph(3), 0)
+
+
+def test_insertion_only_produces_fresh_ids():
+    graph = nx.path_graph(5)
+    adversary = bound(InsertionOnlyAdversary(seed=2), graph)
+    seen = set(graph.nodes())
+    for timestep in range(10):
+        event = adversary.next_event(graph, timestep)
+        assert event.is_insertion
+        assert event.node not in seen
+        assert all(neighbor in seen for neighbor in event.neighbors)
+        seen.add(event.node)
+        graph.add_node(event.node)
+        graph.add_edges_from((event.node, neighbor) for neighbor in event.neighbors)
+
+
+def test_deletion_only_respects_min_nodes():
+    graph = nx.path_graph(5)
+    adversary = bound(DeletionOnlyAdversary(min_nodes=4, seed=1), graph)
+    event = adversary.next_event(graph, 0)
+    assert event.is_deletion
+    small = nx.path_graph(4)
+    assert adversary.next_event(small, 1) is None
+
+
+def test_max_degree_adversary_picks_hub():
+    graph = nx.star_graph(6)
+    adversary = bound(MaxDegreeAdversary(seed=0), graph)
+    event = adversary.next_event(graph, 0)
+    assert event.node == 0
+
+
+def test_min_degree_adversary_picks_leaf():
+    graph = nx.star_graph(6)
+    adversary = bound(MinDegreeAdversary(seed=0), graph)
+    event = adversary.next_event(graph, 0)
+    assert event.node != 0
+
+
+def test_star_center_adversary_prefers_articulation_hub():
+    graph = nx.star_graph(8)
+    graph.add_edge(1, 2)
+    adversary = bound(StarCenterAdversary(seed=0), graph)
+    event = adversary.next_event(graph, 0)
+    assert event.node == 0
+
+
+def test_cascade_adversary_follows_neighborhood():
+    graph = nx.random_regular_graph(4, 20, seed=1)
+    adversary = bound(CascadeAdversary(seed=2), graph)
+    first = adversary.next_event(graph, 0)
+    neighbors = set(graph.neighbors(first.node))
+    graph.remove_node(first.node)
+    second = adversary.next_event(graph, 1)
+    assert second.node in neighbors
+
+
+def test_random_adversary_mixes_inserts_and_deletes():
+    graph = nx.random_regular_graph(4, 20, seed=3)
+    adversary = bound(RandomAdversary(seed=5, delete_probability=0.5), graph)
+    kinds = set()
+    working = graph.copy()
+    for timestep in range(30):
+        event = adversary.next_event(working, timestep)
+        kinds.add(event.type)
+        if event.is_deletion:
+            working.remove_node(event.node)
+        else:
+            working.add_node(event.node)
+            working.add_edges_from((event.node, neighbor) for neighbor in event.neighbors)
+    assert kinds == {EventType.INSERT, EventType.DELETE}
+
+
+def test_random_adversary_validation():
+    with pytest.raises(ValidationError):
+        RandomAdversary(delete_probability=1.5)
+    with pytest.raises(ValidationError):
+        RandomAdversary(max_attachments=0)
+
+
+def test_scripted_adversary_replays_and_exhausts():
+    events = [AdversaryEvent(EventType.DELETE, 1), AdversaryEvent(EventType.DELETE, 2)]
+    adversary = ScriptedAdversary(events)
+    adversary.bind(nx.path_graph(5))
+    assert adversary.remaining() == 2
+    assert adversary.next_event(nx.path_graph(5), 0).node == 1
+    assert adversary.next_event(nx.path_graph(5), 1).node == 2
+    assert adversary.next_event(nx.path_graph(5), 2) is None
+
+
+def test_scripted_deleting_helper():
+    adversary = ScriptedAdversary.deleting([4, 2])
+    adversary.bind(nx.path_graph(6))
+    assert adversary.next_event(nx.path_graph(6), 0).node == 4
+
+
+def test_same_seed_reproducible_decisions():
+    graph = nx.random_regular_graph(4, 16, seed=4)
+    first = bound(RandomAdversary(seed=9), graph.copy())
+    second = bound(RandomAdversary(seed=9), graph.copy())
+    events_first = [first.next_event(graph, t) for t in range(5)]
+    events_second = [second.next_event(graph, t) for t in range(5)]
+    assert events_first == events_second

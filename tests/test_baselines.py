@@ -1,0 +1,122 @@
+"""Tests for the baseline healers."""
+
+import networkx as nx
+import pytest
+
+from repro.baselines import (
+    ALL_BASELINES,
+    CliqueHeal,
+    ForgivingGraphHeal,
+    ForgivingTreeHeal,
+    LineHeal,
+    NoHeal,
+    RandomKHeal,
+)
+from repro.baselines.forgiving_graph import half_full_tree_edges
+from repro.baselines.forgiving_tree import balanced_tree_edges
+from repro.spectral.expansion import edge_expansion
+from repro.util.validation import ValidationError
+
+
+def heal_star(healer_cls, n=12, **kwargs):
+    healer = healer_cls(**kwargs)
+    healer.initialize(nx.star_graph(n - 1))
+    healer.handle_deletion(0)
+    return healer
+
+
+def test_no_heal_disconnects_star():
+    healer = heal_star(NoHeal)
+    assert healer.graph.number_of_edges() == 0
+    assert not nx.is_connected(healer.graph)
+
+
+def test_line_heal_builds_cycle():
+    healer = heal_star(LineHeal, n=9)
+    assert nx.is_connected(healer.graph)
+    assert all(degree == 2 for _, degree in healer.graph.degree())
+
+
+def test_line_heal_two_neighbors_single_edge():
+    healer = LineHeal()
+    healer.initialize(nx.path_graph(3))
+    healer.handle_deletion(1)
+    assert healer.graph.has_edge(0, 2)
+    assert healer.graph.number_of_edges() == 1
+
+
+def test_clique_heal_builds_complete_graph():
+    healer = heal_star(CliqueHeal, n=8)
+    assert healer.graph.number_of_edges() == 7 * 6 // 2
+    assert nx.is_connected(healer.graph)
+
+
+def test_random_k_heal_adds_bounded_edges():
+    healer = heal_star(RandomKHeal, n=14, k=2, seed=1)
+    assert nx.is_connected(healer.graph) or healer.graph.number_of_edges() >= 13
+    assert max(degree for _, degree in healer.graph.degree()) <= 2 * 13
+
+
+def test_random_k_heal_validation():
+    with pytest.raises(ValidationError):
+        RandomKHeal(k=0)
+
+
+def test_balanced_tree_edges_structure():
+    edges = balanced_tree_edges([0, 1, 2, 3, 4, 5, 6])
+    graph = nx.Graph(edges)
+    assert graph.number_of_edges() == 6
+    assert nx.is_tree(graph)
+    assert max(degree for _, degree in graph.degree()) <= 3
+
+
+def test_forgiving_tree_heals_into_tree():
+    healer = heal_star(ForgivingTreeHeal, n=16)
+    assert nx.is_connected(healer.graph)
+    assert nx.is_tree(healer.graph)
+    # Tree patch -> expansion collapses towards O(1/n) (the paper's critique).
+    assert edge_expansion(healer.graph, exact_limit=15) < 1.0
+
+
+def test_half_full_tree_edges_connect_all_leaves():
+    for size in (1, 2, 3, 5, 6, 7, 12):
+        leaves = list(range(size))
+        graph = nx.Graph()
+        graph.add_nodes_from(leaves)
+        graph.add_edges_from(half_full_tree_edges(leaves))
+        if size > 1:
+            assert nx.is_connected(graph)
+            assert nx.is_tree(graph)
+
+
+def test_forgiving_graph_heals_into_tree_and_tracks_degrees():
+    healer = ForgivingGraphHeal(seed=0)
+    healer.initialize(nx.star_graph(11))
+    healer.handle_insertion(50, [1, 2])
+    healer.handle_deletion(0)
+    assert nx.is_connected(healer.graph)
+    assert healer._ghost_degree[50] == 2
+
+
+def test_forgiving_baselines_keep_low_degree_increase():
+    for healer_cls in (ForgivingTreeHeal, ForgivingGraphHeal):
+        healer = heal_star(healer_cls, n=20)
+        assert max(degree for _, degree in healer.graph.degree()) <= 4
+
+
+def test_all_baselines_run_under_churn():
+    for healer_cls in ALL_BASELINES:
+        healer = healer_cls()
+        healer.initialize(nx.random_regular_graph(4, 16, seed=1))
+        healer.handle_insertion(100, [0, 1])
+        healer.handle_deletion(2)
+        healer.handle_deletion(3)
+        assert healer.timestep == 3
+
+
+def test_small_neighborhood_baselines_no_crash():
+    for healer_cls in ALL_BASELINES:
+        healer = healer_cls()
+        healer.initialize(nx.path_graph(3))
+        healer.handle_deletion(0)  # degree-1 deletion
+        assert 0 not in healer.graph

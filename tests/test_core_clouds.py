@@ -1,0 +1,150 @@
+"""Tests for repro.core.clouds (CloudRegistry and Cloud)."""
+
+import pytest
+
+from repro.core.clouds import CloudKind, CloudRegistry
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture
+def registry():
+    return CloudRegistry()
+
+
+def test_new_primary_cloud_registers_members(registry):
+    cloud = registry.new_primary_cloud([1, 2, 3])
+    assert cloud.is_primary
+    assert cloud.size() == 3
+    assert registry.primary_clouds_of(2) == [cloud.cloud_id]
+    registry.check_invariants()
+
+
+def test_cloud_colors_are_unique(registry):
+    first = registry.new_primary_cloud([1, 2])
+    second = registry.new_primary_cloud([3, 4])
+    assert first.color != second.color
+
+
+def test_secondary_cloud_marks_bridges_non_free(registry):
+    c1 = registry.new_primary_cloud([1, 2, 3])
+    c2 = registry.new_primary_cloud([4, 5, 6])
+    secondary = registry.new_secondary_cloud({c1.cloud_id: 1, c2.cloud_id: 4})
+    assert secondary.is_secondary
+    assert not registry.is_free(1)
+    assert not registry.is_free(4)
+    assert registry.is_free(2)
+    assert registry.secondary_cloud_of(1) == secondary.cloud_id
+    registry.check_invariants()
+
+
+def test_secondary_requires_free_bridges(registry):
+    c1 = registry.new_primary_cloud([1, 2])
+    c2 = registry.new_primary_cloud([3, 4])
+    registry.new_secondary_cloud({c1.cloud_id: 1, c2.cloud_id: 3})
+    c3 = registry.new_primary_cloud([5, 6])
+    with pytest.raises(ValidationError):
+        registry.new_secondary_cloud({c1.cloud_id: 1, c3.cloud_id: 5})
+
+
+def test_secondary_requires_primary_clouds(registry):
+    c1 = registry.new_primary_cloud([1, 2])
+    with pytest.raises(ValidationError):
+        registry.new_secondary_cloud({999: 1})
+    secondary = registry.new_secondary_cloud({c1.cloud_id: 1})
+    with pytest.raises(ValidationError):
+        registry.new_secondary_cloud({secondary.cloud_id: 2})
+
+
+def test_free_members_sorted(registry):
+    cloud = registry.new_primary_cloud([5, 3, 9])
+    assert registry.free_members(cloud.cloud_id) == [3, 5, 9]
+
+
+def test_remove_member_updates_indices(registry):
+    cloud = registry.new_primary_cloud([1, 2, 3])
+    registry.remove_member(cloud.cloud_id, 2)
+    assert 2 not in cloud.members
+    assert registry.primary_clouds_of(2) == []
+    registry.check_invariants()
+
+
+def test_remove_bridge_clears_bridge_of(registry):
+    c1 = registry.new_primary_cloud([1, 2])
+    c2 = registry.new_primary_cloud([3, 4])
+    secondary = registry.new_secondary_cloud({c1.cloud_id: 1, c2.cloud_id: 3})
+    registry.remove_member(secondary.cloud_id, 1)
+    assert c1.cloud_id not in secondary.bridge_of
+    assert registry.is_free(1)
+    registry.check_invariants()
+
+
+def test_remove_node_everywhere(registry):
+    c1 = registry.new_primary_cloud([1, 2, 3])
+    c2 = registry.new_primary_cloud([1, 4, 5])
+    primary_ids, secondary_id = registry.remove_node_everywhere(1)
+    assert set(primary_ids) == {c1.cloud_id, c2.cloud_id}
+    assert secondary_id is None
+    assert registry.primary_clouds_of(1) == []
+    registry.check_invariants()
+
+
+def test_dissolve_secondary_frees_members(registry):
+    c1 = registry.new_primary_cloud([1, 2])
+    c2 = registry.new_primary_cloud([3, 4])
+    secondary = registry.new_secondary_cloud({c1.cloud_id: 1, c2.cloud_id: 3})
+    registry.dissolve(secondary.cloud_id)
+    assert registry.is_free(1)
+    assert registry.is_free(3)
+    assert secondary.cloud_id not in registry
+    registry.check_invariants()
+
+
+def test_dissolve_primary_removes_membership(registry):
+    cloud = registry.new_primary_cloud([1, 2, 3])
+    registry.dissolve(cloud.cloud_id)
+    assert registry.primary_clouds_of(1) == []
+    assert len(registry) == 0
+
+
+def test_add_member_sharing(registry):
+    c1 = registry.new_primary_cloud([1, 2])
+    c2 = registry.new_primary_cloud([3, 4])
+    registry.add_member(c1.cloud_id, 3)
+    assert set(registry.primary_clouds_of(3)) == {c1.cloud_id, c2.cloud_id}
+    registry.check_invariants()
+
+
+def test_set_bridge_registers_association(registry):
+    c1 = registry.new_primary_cloud([1, 2])
+    c2 = registry.new_primary_cloud([3, 4])
+    secondary = registry.new_secondary_cloud({c1.cloud_id: 1})
+    registry.set_bridge(secondary.cloud_id, c2.cloud_id, 3)
+    assert secondary.bridge_of[c2.cloud_id] == 3
+    assert not registry.is_free(3)
+    registry.check_invariants()
+
+
+def test_redirect_bridges_after_merge(registry):
+    c1 = registry.new_primary_cloud([1, 2])
+    c2 = registry.new_primary_cloud([3, 4])
+    c3 = registry.new_primary_cloud([5, 6])
+    secondary = registry.new_secondary_cloud({c1.cloud_id: 1, c3.cloud_id: 5})
+    merged = registry.new_primary_cloud([1, 2, 3, 4])
+    registry.redirect_bridges([c1.cloud_id, c2.cloud_id], merged.cloud_id)
+    assert merged.cloud_id in secondary.bridge_of
+    assert c1.cloud_id not in secondary.bridge_of
+    assert secondary.bridge_of[c3.cloud_id] == 5
+
+
+def test_clouds_filter_by_kind(registry):
+    registry.new_primary_cloud([1, 2])
+    c2 = registry.new_primary_cloud([3, 4])
+    registry.new_secondary_cloud({c2.cloud_id: 3})
+    assert len(registry.clouds(CloudKind.PRIMARY)) == 2
+    assert len(registry.clouds(CloudKind.SECONDARY)) == 1
+    assert len(registry.clouds()) == 3
+
+
+def test_get_unknown_cloud_raises(registry):
+    with pytest.raises(ValidationError):
+        registry.get(12345)

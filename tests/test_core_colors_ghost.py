@@ -1,0 +1,89 @@
+"""Tests for repro.core.colors and repro.core.ghost."""
+
+import networkx as nx
+import pytest
+
+from repro.core.colors import BLACK, ColorKind, EdgeColor, primary_color, secondary_color
+from repro.core.ghost import GhostGraph
+from repro.util.validation import ValidationError
+
+
+def test_black_is_black():
+    assert BLACK.is_black
+    assert not BLACK.is_primary
+    assert not BLACK.is_secondary
+    assert str(BLACK) == "black"
+
+
+def test_primary_and_secondary_colors():
+    red = primary_color(7)
+    orange = secondary_color(7)
+    assert red.is_primary and not red.is_secondary
+    assert orange.is_secondary and not orange.is_primary
+    assert red != orange
+    assert "red" in str(red) and "orange" in str(orange)
+
+
+def test_colors_hashable_and_unique_per_tag():
+    assert primary_color(1) == EdgeColor(ColorKind.PRIMARY, 1)
+    assert primary_color(1) != primary_color(2)
+    assert len({primary_color(i) for i in range(5)}) == 5
+
+
+def test_ghost_records_initial_graph():
+    graph = nx.cycle_graph(5)
+    ghost = GhostGraph(graph)
+    assert ghost.number_of_nodes() == 5
+    assert ghost.degree(0) == 2
+
+
+def test_ghost_insertion_grows_graph():
+    ghost = GhostGraph(nx.path_graph(3))
+    ghost.record_insertion(10, [0, 2])
+    assert ghost.degree(10) == 2
+    assert ghost.graph.has_edge(10, 0)
+
+
+def test_ghost_insertion_validation():
+    ghost = GhostGraph(nx.path_graph(3))
+    with pytest.raises(ValidationError):
+        ghost.record_insertion(0, [1])  # already exists
+    with pytest.raises(ValidationError):
+        ghost.record_insertion(10, [99])  # unknown neighbour
+
+
+def test_ghost_deletion_does_not_remove_edges():
+    graph = nx.star_graph(4)
+    ghost = GhostGraph(graph)
+    ghost.record_deletion(0)
+    assert ghost.degree(0) == 4  # ghost keeps the deleted node's edges
+    assert 0 in ghost.deleted_nodes()
+    assert 0 not in ghost.alive_nodes()
+
+
+def test_ghost_deletion_unknown_rejected():
+    ghost = GhostGraph(nx.path_graph(3))
+    with pytest.raises(ValidationError):
+        ghost.record_deletion(42)
+
+
+def test_alive_subgraph_excludes_deleted():
+    graph = nx.cycle_graph(6)
+    ghost = GhostGraph(graph)
+    ghost.record_deletion(0)
+    alive = ghost.alive_subgraph()
+    assert 0 not in alive
+    assert alive.number_of_nodes() == 5
+
+
+def test_ghost_degree_of_unknown_node_is_zero():
+    ghost = GhostGraph(nx.path_graph(3))
+    assert ghost.degree(500) == 0
+
+
+def test_ghost_copy_is_independent():
+    ghost = GhostGraph(nx.path_graph(3))
+    clone = ghost.copy()
+    clone.record_deletion(0)
+    assert 0 not in clone.alive_nodes()
+    assert 0 in ghost.alive_nodes()

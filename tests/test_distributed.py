@@ -1,0 +1,173 @@
+"""Tests for the distributed LOCAL-model simulation (network, node, protocol)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.adversary import DeletionOnlyAdversary, RandomAdversary
+from repro.analysis.invariants import check_theorem2
+from repro.core.ghost import GhostGraph
+from repro.distributed import DistributedXheal, Message, MessageKind, SynchronousNetwork
+from repro.distributed.node import Processor
+from repro.util.validation import ValidationError
+
+from tests.conftest import drive
+
+
+def test_network_add_remove_processors():
+    network = SynchronousNetwork()
+    network.add_processor(1)
+    network.add_processor(2)
+    assert len(network) == 2
+    assert 1 in network
+    network.remove_processor(1)
+    assert 1 not in network
+    with pytest.raises(ValidationError):
+        network.processor(1)
+
+
+def test_message_delivery_counts_rounds_and_messages():
+    network = SynchronousNetwork()
+    network.add_processor(1)
+    network.add_processor(2)
+    network.post(Message(1, 2, MessageKind.LEADER_ANNOUNCE))
+    network.post(Message(2, 1, MessageKind.ELECTION_ACK))
+    delivered = network.run_round()
+    assert delivered == 2
+    assert network.total_rounds == 1
+    assert network.total_messages == 2
+    assert len(network.processor(2).inbox) == 1
+
+
+def test_repair_scoped_accounting():
+    network = SynchronousNetwork()
+    network.add_processor(1)
+    network.add_processor(2)
+    stats = network.begin_repair(timestep=1, deleted_node=99)
+    network.post(Message(1, 2, MessageKind.CLOUD_ASSIGNMENT))
+    network.run_round()
+    finished = network.end_repair()
+    assert finished is stats
+    assert finished.messages == 1
+    assert finished.rounds == 1
+    with pytest.raises(ValidationError):
+        network.end_repair()
+
+
+def test_message_to_removed_processor_is_dropped():
+    network = SynchronousNetwork()
+    network.add_processor(1)
+    network.add_processor(2)
+    network.post(Message(1, 2, MessageKind.BFS_TOKEN))
+    network.remove_processor(2)
+    delivered = network.run_round()
+    assert delivered == 1  # counted as sent, but nobody received it
+    assert 2 not in network
+
+
+def test_flush_runs_until_quiet():
+    network = SynchronousNetwork()
+    network.add_processor(1)
+    network.add_processor(2)
+    network.post(Message(1, 2, MessageKind.BFS_TOKEN))
+    used = network.flush()
+    assert used == 1
+    assert network.flush() == 0
+
+
+def test_processor_state_and_cloud_views():
+    processor = Processor(node_id=5, neighbors={1, 2})
+    processor.non_table = {1: {5, 9}, 2: {5}}
+    view = processor.cloud_view(7, "primary")
+    view.leader = 1
+    view.members = {1, 2, 5}
+    assert 9 in processor.known_addresses()
+    assert 1 in processor.known_addresses()
+    processor.forget_cloud(7)
+    assert 7 not in processor.clouds
+    message = Message(1, 5, MessageKind.LEADER_ANNOUNCE)
+    processor.receive(message)
+    assert processor.drain_inbox() == [message]
+    assert processor.drain_inbox() == []
+
+
+def test_distributed_xheal_measures_positive_costs():
+    graph = nx.star_graph(10)
+    healer = DistributedXheal(kappa=4, seed=1)
+    healer.initialize(graph)
+    report = healer.handle_deletion(0)
+    assert report.messages > 0
+    assert report.rounds >= 1
+    assert len(healer.measured_costs()) == 1
+    assert nx.is_connected(healer.graph)
+    healer.check_invariants()
+
+
+def test_distributed_xheal_matches_centralized_guarantees():
+    graph = nx.random_regular_graph(4, 24, seed=7)
+    healer = DistributedXheal(kappa=4, seed=2)
+    healer.initialize(graph)
+    ghost = GhostGraph(graph)
+    adversary = DeletionOnlyAdversary(seed=5)
+    adversary.bind(graph)
+    drive(healer, ghost, adversary, steps=14)
+    healer.check_invariants()
+    verdict = check_theorem2(healer.graph, ghost, kappa=4, exact_limit=12, sample_pairs=60)
+    assert verdict.connected
+    assert verdict.degree.holds
+    assert verdict.expansion.holds
+
+
+def test_distributed_rounds_grow_logarithmically_not_linearly():
+    # Recovery time should scale like log n (Theorem 5), far below n.
+    graph = nx.random_regular_graph(4, 60, seed=3)
+    healer = DistributedXheal(kappa=4, seed=4)
+    healer.initialize(graph)
+    ghost = GhostGraph(graph)
+    adversary = DeletionOnlyAdversary(seed=9)
+    adversary.bind(graph)
+    drive(healer, ghost, adversary, steps=20)
+    n = graph.number_of_nodes()
+    assert healer.max_rounds() <= 6 * math.log2(n) + 10
+    assert healer.max_rounds() < n / 2
+
+
+def test_distributed_processor_topology_stays_in_sync():
+    graph = nx.random_regular_graph(4, 20, seed=5)
+    healer = DistributedXheal(kappa=4, seed=6)
+    healer.initialize(graph)
+    ghost = GhostGraph(graph)
+    adversary = RandomAdversary(seed=8, delete_probability=0.5)
+    adversary.bind(graph)
+    drive(healer, ghost, adversary, steps=16)
+    assert set(healer.network.processors) == set(healer.graph.nodes())
+    for node in healer.graph.nodes():
+        assert healer.network.processor(node).neighbors == set(healer.graph.neighbors(node))
+
+
+def test_distributed_cloud_views_know_their_leader():
+    graph = nx.star_graph(12)
+    healer = DistributedXheal(kappa=4, seed=7)
+    healer.initialize(graph)
+    healer.handle_deletion(0)
+    clouds = healer.registry.clouds()
+    assert clouds
+    cloud = clouds[0]
+    leaders = set()
+    for member in cloud.members:
+        view = healer.network.processor(member).clouds.get(cloud.cloud_id)
+        assert view is not None
+        leaders.add(view.leader)
+    assert len(leaders) == 1
+    leader = leaders.pop()
+    assert leader in cloud.members
+    assert healer.network.processor(leader).clouds[cloud.cloud_id].is_leader
+
+
+def test_charge_rounds_validation():
+    network = SynchronousNetwork()
+    with pytest.raises(ValidationError):
+        network.charge_rounds(-1)
+    network.charge_rounds(3)
+    assert network.total_rounds == 3

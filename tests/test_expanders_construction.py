@@ -1,0 +1,100 @@
+"""Tests for repro.expanders.construction and verification."""
+
+import networkx as nx
+import pytest
+
+from repro.expanders.construction import (
+    build_clique_edges,
+    build_expander_edges,
+    expander_or_clique,
+    hamilton_cycle_count,
+)
+from repro.expanders.verification import check_expander, empirical_expansion_profile
+from repro.util.rng import SeededRng
+from repro.util.validation import ValidationError
+
+
+def test_clique_edges_count():
+    edges = build_clique_edges(range(5))
+    assert len(edges) == 10
+    assert (0, 4) in edges
+
+
+def test_clique_edges_degenerate():
+    assert build_clique_edges([]) == set()
+    assert build_clique_edges([3]) == set()
+    assert build_clique_edges([3, 3]) == set()
+
+
+def test_hamilton_cycle_count_rounding():
+    assert hamilton_cycle_count(2) == 1
+    assert hamilton_cycle_count(3) == 2
+    assert hamilton_cycle_count(4) == 2
+    assert hamilton_cycle_count(8) == 4
+    with pytest.raises(ValidationError):
+        hamilton_cycle_count(1)
+
+
+def test_expander_edges_degree_bound():
+    nodes = list(range(20))
+    edges = build_expander_edges(nodes, kappa=4, rng=SeededRng(1))
+    graph = nx.Graph(edges)
+    assert max(degree for _, degree in graph.degree()) <= 4
+    assert nx.is_connected(graph)
+
+
+def test_expander_edges_needs_three_nodes():
+    with pytest.raises(ValidationError):
+        build_expander_edges([1, 2], kappa=4, rng=SeededRng(0))
+
+
+def test_expander_or_clique_small_sets_give_cliques():
+    edges = expander_or_clique(list(range(4)), kappa=4, rng=SeededRng(0))
+    assert len(edges) == 6  # K4
+    assert expander_or_clique([7], kappa=4, rng=SeededRng(0)) == set()
+    assert expander_or_clique([], kappa=4, rng=SeededRng(0)) == set()
+
+
+def test_expander_or_clique_large_sets_respect_kappa():
+    edges = expander_or_clique(list(range(30)), kappa=4, rng=SeededRng(2))
+    graph = nx.Graph(edges)
+    assert max(degree for _, degree in graph.degree()) <= 4
+    assert nx.is_connected(graph)
+
+
+def test_expander_or_clique_threshold_boundary():
+    # kappa + 1 nodes -> clique; kappa + 2 -> expander path.
+    kappa = 4
+    clique_edges = expander_or_clique(list(range(kappa + 1)), kappa, SeededRng(0))
+    assert len(clique_edges) == (kappa + 1) * kappa // 2
+    expander_edges = expander_or_clique(list(range(kappa + 2)), kappa, SeededRng(0))
+    graph = nx.Graph(expander_edges)
+    assert max(degree for _, degree in graph.degree()) <= kappa
+
+
+def test_check_expander_on_good_and_bad_graphs():
+    good = nx.random_regular_graph(6, 20, seed=1)
+    bad = nx.path_graph(20)
+    assert check_expander(good, threshold=1.0).is_expander
+    assert not check_expander(bad, threshold=1.0).is_expander
+
+
+def test_check_expander_tiny_graph():
+    graph = nx.Graph()
+    graph.add_node(0)
+    assert check_expander(graph).is_expander is False
+
+
+def test_empirical_expansion_profile_shape():
+    profile = empirical_expansion_profile(n=14, d=2, trials=5, base_seed=3)
+    assert profile.trials == 5
+    assert 0.0 <= profile.success_fraction <= 1.0
+    assert profile.min_expansion <= profile.mean_expansion
+    assert profile.threshold == pytest.approx(1.0)
+
+
+def test_empirical_profile_success_improves_with_d():
+    low = empirical_expansion_profile(n=16, d=1, trials=6, threshold=1.5, base_seed=1)
+    high = empirical_expansion_profile(n=16, d=4, trials=6, threshold=1.5, base_seed=1)
+    assert high.success_fraction >= low.success_fraction
+    assert high.mean_expansion > low.mean_expansion

@@ -1,0 +1,137 @@
+"""Tests for the Law-Siu H-graph construction (repro.expanders.hgraph)."""
+
+import networkx as nx
+import pytest
+
+from repro.expanders.hgraph import HGraph
+from repro.util.rng import SeededRng
+from repro.util.validation import ValidationError
+
+
+def make(n=12, d=2, seed=0, rebuild=False):
+    return HGraph(range(n), d=d, rng=SeededRng(seed), rebuild_at_half_loss=rebuild)
+
+
+def test_initial_size_and_membership():
+    hgraph = make(10)
+    assert len(hgraph) == 10
+    assert 3 in hgraph
+    assert 99 not in hgraph
+
+
+def test_requires_three_nodes_and_positive_d():
+    with pytest.raises(ValidationError):
+        HGraph([0, 1], d=2)
+    with pytest.raises(ValidationError):
+        HGraph(range(5), d=0)
+
+
+def test_multigraph_is_2d_regular():
+    hgraph = make(9, d=3)
+    degree = {node: 0 for node in hgraph.nodes()}
+    for u, v in hgraph.multigraph_edges():
+        degree[u] += 1
+        degree[v] += 1
+    assert all(value == 6 for value in degree.values())
+
+
+def test_simple_projection_degree_bounded_by_2d():
+    hgraph = make(20, d=4)
+    graph = hgraph.to_graph()
+    assert max(degree for _, degree in graph.degree()) <= hgraph.degree_bound()
+
+
+def test_simple_projection_connected():
+    # Each Hamilton cycle alone connects the vertex set.
+    hgraph = make(15, d=1)
+    assert nx.is_connected(hgraph.to_graph())
+
+
+def test_insert_adds_node_to_every_cycle():
+    hgraph = make(8, d=3)
+    hgraph.insert(100)
+    assert 100 in hgraph
+    labels = hgraph.neighbor_labels(100)
+    assert set(labels) == {1, 2, 3}
+    hgraph.validate()
+
+
+def test_insert_duplicate_rejected():
+    hgraph = make(8)
+    with pytest.raises(ValidationError):
+        hgraph.insert(0)
+
+
+def test_delete_reconnects_cycles():
+    hgraph = make(8, d=2)
+    hgraph.delete(3)
+    assert 3 not in hgraph
+    assert len(hgraph) == 7
+    hgraph.validate()
+    assert nx.is_connected(hgraph.to_graph())
+
+
+def test_delete_unknown_rejected():
+    hgraph = make(8)
+    with pytest.raises(ValidationError):
+        hgraph.delete(1234)
+
+
+def test_cannot_shrink_below_three():
+    hgraph = make(4, d=1)
+    hgraph.delete(0)
+    with pytest.raises(ValidationError):
+        hgraph.delete(1)
+
+
+def test_neighbor_labels_are_cycle_neighbors():
+    hgraph = make(10, d=2)
+    labels = hgraph.neighbor_labels(5)
+    graph = hgraph.to_graph()
+    for predecessor, successor in labels.values():
+        assert graph.has_edge(5, predecessor) or predecessor == 5
+        assert graph.has_edge(5, successor) or successor == 5
+
+
+def test_churn_preserves_invariants():
+    hgraph = make(12, d=2, seed=5)
+    rng = SeededRng(77)
+    next_id = 1000
+    for _ in range(60):
+        if rng.coin(0.5) and len(hgraph) > 4:
+            hgraph.delete(rng.choice(sorted(hgraph.nodes())))
+        else:
+            hgraph.insert(next_id)
+            next_id += 1
+        hgraph.validate()
+        assert nx.is_connected(hgraph.to_graph())
+
+
+def test_rebuild_policy_triggers_after_half_loss():
+    hgraph = HGraph(range(12), d=2, rng=SeededRng(1), rebuild_at_half_loss=True)
+    for node in range(5):
+        hgraph.delete(node)
+    # After losing half the nodes the policy has already rebuilt at least once,
+    # so the deletions-since-rebuild counter is back below the threshold.
+    assert not hgraph.should_rebuild()
+    hgraph.validate()
+
+
+def test_manual_rebuild_preserves_node_set():
+    hgraph = make(10, d=3)
+    before = hgraph.nodes()
+    hgraph.rebuild()
+    assert hgraph.nodes() == before
+    hgraph.validate()
+
+
+def test_same_seed_same_structure():
+    first = make(10, d=2, seed=9)
+    second = make(10, d=2, seed=9)
+    assert first.simple_edges() == second.simple_edges()
+
+
+def test_different_seeds_differ():
+    first = make(12, d=2, seed=1)
+    second = make(12, d=2, seed=2)
+    assert first.simple_edges() != second.simple_edges()

@@ -1,0 +1,86 @@
+"""Tests for repro.harness.workloads."""
+
+import networkx as nx
+import pytest
+
+from repro.harness.workloads import (
+    WORKLOADS,
+    erdos_renyi_workload,
+    grid_workload,
+    power_law_workload,
+    random_regular_workload,
+    ring_workload,
+    star_workload,
+    two_cliques_workload,
+    workload_by_name,
+)
+from repro.util.validation import ValidationError
+
+
+def test_star_workload_shape():
+    graph = star_workload(10)
+    assert graph.number_of_nodes() == 10
+    assert graph.degree(0) == 9
+
+
+def test_star_workload_validation():
+    with pytest.raises(ValidationError):
+        star_workload(2)
+
+
+def test_random_regular_workload_connected_and_regular():
+    graph = random_regular_workload(30, degree=4, seed=1)
+    assert nx.is_connected(graph)
+    assert all(degree == 4 for _, degree in graph.degree())
+
+
+def test_random_regular_workload_validation():
+    with pytest.raises(ValidationError):
+        random_regular_workload(5, degree=5)
+    with pytest.raises(ValidationError):
+        random_regular_workload(5, degree=3)  # odd n * degree
+
+
+def test_erdos_renyi_workload_connected():
+    graph = erdos_renyi_workload(40, average_degree=5, seed=3)
+    assert nx.is_connected(graph)
+    assert graph.number_of_nodes() == 40
+
+
+def test_grid_workload_integer_labels():
+    graph = grid_workload(4, 5)
+    assert graph.number_of_nodes() == 20
+    assert all(isinstance(node, int) for node in graph.nodes())
+    assert nx.is_connected(graph)
+
+
+def test_ring_workload():
+    graph = ring_workload(9)
+    assert all(degree == 2 for _, degree in graph.degree())
+
+
+def test_power_law_workload_has_hubs():
+    graph = power_law_workload(60, m=2, seed=1)
+    degrees = sorted((degree for _, degree in graph.degree()), reverse=True)
+    assert degrees[0] >= 8
+    assert nx.is_connected(graph)
+
+
+def test_two_cliques_workload_structure():
+    graph = two_cliques_workload(12, expander_degree=4, seed=1)
+    # Each half is a clique (plus the embedded expander edges).
+    for offset in (0, 6):
+        for i in range(6):
+            for j in range(i + 1, 6):
+                assert graph.has_edge(offset + i, offset + j)
+    assert nx.is_connected(graph)
+    with pytest.raises(ValidationError):
+        two_cliques_workload(7)
+
+
+def test_workload_registry_and_lookup():
+    assert set(WORKLOADS) >= {"star", "random-regular", "grid", "two-cliques"}
+    graph = workload_by_name("ring", n=7)
+    assert graph.number_of_nodes() == 7
+    with pytest.raises(ValidationError):
+        workload_by_name("no-such-workload")

@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.forgiving_graph import half_full_tree_edges
+from repro.baselines.forgiving_tree import balanced_tree_edges
+from repro.core.ghost import GhostGraph
+from repro.core.xheal import Xheal
+from repro.expanders.construction import build_clique_edges, expander_or_clique
+from repro.expanders.hgraph import HGraph
+from repro.spectral.expansion import edge_expansion, edge_expansion_of_cut
+from repro.util.ids import IdAllocator
+from repro.util.rng import SeededRng, derive_seed
+
+SLOW = settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+FAST = settings(max_examples=50, deadline=None)
+
+
+@FAST
+@given(st.integers(min_value=0, max_value=10**6), st.lists(st.text(max_size=5), max_size=4))
+def test_derive_seed_is_stable_and_in_range(seed, labels):
+    value = derive_seed(seed, *labels)
+    assert value == derive_seed(seed, *labels)
+    assert 0 <= value < 2**64
+
+
+@FAST
+@given(st.lists(st.integers(min_value=0, max_value=1000), max_size=30))
+def test_id_allocator_never_reissues(existing):
+    allocator = IdAllocator.from_existing(existing)
+    fresh = [allocator.allocate() for _ in range(10)]
+    assert len(set(fresh)) == 10
+    assert not (set(fresh) & set(existing))
+
+
+@FAST
+@given(st.integers(min_value=2, max_value=40))
+def test_clique_edges_count_formula(n):
+    edges = build_clique_edges(range(n))
+    assert len(edges) == n * (n - 1) // 2
+
+
+@SLOW
+@given(
+    st.integers(min_value=3, max_value=30),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_hgraph_simple_projection_bounded_degree_and_connected(n, d, seed):
+    hgraph = HGraph(range(n), d=d, rng=SeededRng(seed))
+    graph = hgraph.to_graph()
+    assert graph.number_of_nodes() == n
+    assert max(degree for _, degree in graph.degree()) <= 2 * d
+    assert nx.is_connected(graph)
+    hgraph.validate()
+
+
+@SLOW
+@given(
+    st.integers(min_value=4, max_value=25),
+    st.integers(min_value=0, max_value=10**6),
+    st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=15),
+)
+def test_hgraph_churn_keeps_invariants(n, seed, operations):
+    hgraph = HGraph(range(n), d=2, rng=SeededRng(seed))
+    next_id = n
+    for op in operations:
+        if op % 2 == 0 and len(hgraph) > 4:
+            victim = sorted(hgraph.nodes())[op % len(hgraph)]
+            hgraph.delete(victim)
+        else:
+            hgraph.insert(next_id)
+            next_id += 1
+        hgraph.validate()
+        assert nx.is_connected(hgraph.to_graph())
+
+
+@SLOW
+@given(
+    st.integers(min_value=2, max_value=20),
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_expander_or_clique_degree_bound(n, kappa, seed):
+    edges = expander_or_clique(list(range(n)), kappa, SeededRng(seed))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from(edges)
+    effective = kappa + (kappa % 2)
+    if n <= kappa + 1:
+        assert graph.number_of_edges() == n * (n - 1) // 2
+    else:
+        assert max(degree for _, degree in graph.degree()) <= effective
+    if n >= 2:
+        assert nx.is_connected(graph)
+
+
+@FAST
+@given(st.lists(st.integers(min_value=0, max_value=500), min_size=2, max_size=40, unique=True))
+def test_tree_patch_builders_produce_spanning_trees(nodes):
+    for builder in (balanced_tree_edges, half_full_tree_edges):
+        graph = nx.Graph()
+        graph.add_nodes_from(nodes)
+        graph.add_edges_from(builder(list(nodes)))
+        assert nx.is_connected(graph)
+        assert graph.number_of_edges() == len(nodes) - 1
+
+
+@SLOW
+@given(st.integers(min_value=4, max_value=12), st.integers(min_value=0, max_value=100))
+def test_expansion_cut_certificate(n, seed):
+    graph = nx.gnp_random_graph(n, 0.5, seed=seed)
+    if graph.number_of_nodes() < 2 or not nx.is_connected(graph):
+        return
+    from repro.spectral.expansion import minimum_expansion_cut
+
+    result = minimum_expansion_cut(graph)
+    assert result.value == edge_expansion_of_cut(graph, result.cut)
+    # No strictly better singleton cut exists.
+    for node in graph.nodes():
+        assert edge_expansion_of_cut(graph, [node]) >= result.value - 1e-12
+
+
+@SLOW
+@given(
+    st.integers(min_value=0, max_value=10**6),
+    st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=10),
+)
+def test_xheal_invariants_under_arbitrary_deletion_order(seed, choices):
+    graph = nx.random_regular_graph(4, 18, seed=seed % 1000)
+    if not nx.is_connected(graph):
+        return
+    healer = Xheal(kappa=4, seed=seed)
+    healer.initialize(graph)
+    ghost = GhostGraph(graph)
+    for choice in choices:
+        nodes = sorted(healer.graph.nodes())
+        if len(nodes) <= 4:
+            break
+        victim = nodes[choice % len(nodes)]
+        ghost.record_deletion(victim)
+        healer.handle_deletion(victim)
+        healer.check_invariants()
+        assert nx.is_connected(healer.graph)
+        assert nx.number_of_selfloops(healer.graph) == 0
+        for node in healer.graph.nodes():
+            assert healer.graph.degree(node) <= 4 * ghost.degree(node) + 8
+
+
+@SLOW
+@given(st.integers(min_value=5, max_value=14), st.integers(min_value=0, max_value=1000))
+def test_healed_star_expansion_at_least_ghost_or_constant(n, seed):
+    star = nx.star_graph(n)
+    healer = Xheal(kappa=4, seed=seed)
+    healer.initialize(star)
+    ghost = GhostGraph(star)
+    ghost.record_deletion(0)
+    healer.handle_deletion(0)
+    healed_h = edge_expansion(healer.graph, exact_limit=14)
+    ghost_h = edge_expansion(ghost.alive_subgraph(), exact_limit=14) if n >= 3 else 0.0
+    assert healed_h >= min(1.0, ghost_h) - 1e-9

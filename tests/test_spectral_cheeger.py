@@ -1,0 +1,92 @@
+"""Tests for repro.spectral.cheeger."""
+
+import networkx as nx
+import pytest
+
+from repro.spectral.cheeger import (
+    cheeger_bounds_from_lambda,
+    cheeger_constant,
+    cheeger_constant_of_cut,
+    conductance_sweep,
+)
+from repro.spectral.laplacian import normalized_laplacian_second_eigenvalue
+from repro.util.validation import ValidationError
+
+
+def test_regular_graph_cheeger_equals_expansion_over_degree():
+    # For k-regular graphs phi = h / k (paper, Section 1.1).
+    from repro.spectral.expansion import edge_expansion
+
+    graph = nx.random_regular_graph(4, 12, seed=1)
+    h = edge_expansion(graph)
+    phi = cheeger_constant(graph)
+    assert phi == pytest.approx(h / 4, rel=1e-9)
+
+
+def test_cheeger_of_cut_matches_manual():
+    graph = nx.cycle_graph(6)
+    # S = {0,1,2}: 2 crossing edges, vol(S)=6, vol(rest)=6.
+    assert cheeger_constant_of_cut(graph, {0, 1, 2}) == pytest.approx(2 / 6)
+
+
+def test_cheeger_cut_validation():
+    graph = nx.cycle_graph(4)
+    with pytest.raises(ValidationError):
+        cheeger_constant_of_cut(graph, set())
+    with pytest.raises(ValidationError):
+        cheeger_constant_of_cut(graph, set(graph.nodes()))
+
+
+def test_disconnected_graph_zero_conductance():
+    graph = nx.Graph([(0, 1), (2, 3)])
+    assert cheeger_constant(graph) == 0.0
+
+
+def test_two_cliques_conductance_collapses():
+    # The paper's Section 1.1 example: constant expansion but O(1/n) conductance.
+    from repro.harness.workloads import two_cliques_workload
+    from repro.spectral.expansion import edge_expansion
+
+    small = two_cliques_workload(16, expander_degree=4, seed=1)
+    large = two_cliques_workload(32, expander_degree=4, seed=1)
+    h = edge_expansion(large)
+    phi = cheeger_constant(large)
+    # The embedded 4-regular expander keeps the edge expansion a constant...
+    assert h >= 0.5
+    # ...but the clique halves make the conductance collapse towards O(1/n):
+    # doubling n shrinks it, and it sits far below the expansion.
+    assert phi <= 0.15
+    assert phi < cheeger_constant(small)
+    assert phi < h / 4
+
+
+def test_conductance_sweep_returns_certifying_cut():
+    graph = nx.random_regular_graph(4, 24, seed=3)
+    result = conductance_sweep(graph)
+    assert result.value == pytest.approx(cheeger_constant_of_cut(graph, result.cut))
+
+
+def test_sweep_handles_disconnected():
+    graph = nx.Graph([(0, 1), (2, 3)])
+    result = conductance_sweep(graph)
+    assert result.value == 0.0
+
+
+def test_exact_vs_sweep_consistency():
+    graph = nx.petersen_graph()
+    exact = cheeger_constant(graph)
+    sweep = conductance_sweep(graph).value
+    assert sweep >= exact - 1e-12
+
+
+def test_cheeger_bounds_from_lambda_sandwich():
+    graph = nx.random_regular_graph(4, 16, seed=4)
+    lam = normalized_laplacian_second_eigenvalue(graph)
+    lower, upper = cheeger_bounds_from_lambda(lam)
+    phi = cheeger_constant(graph)
+    assert lower - 1e-9 <= phi <= upper + 1e-9
+
+
+def test_cheeger_bounds_negative_lambda_rejected():
+    with pytest.raises(ValidationError):
+        cheeger_bounds_from_lambda(-0.1)

@@ -1,0 +1,112 @@
+"""Tests for repro.spectral.expansion."""
+
+import networkx as nx
+import pytest
+
+from repro.spectral.expansion import (
+    edge_expansion,
+    edge_expansion_bounds,
+    edge_expansion_of_cut,
+    minimum_expansion_cut,
+)
+from repro.util.validation import ValidationError
+
+
+def test_complete_graph_expansion():
+    # K_n: every |S|=k cut has k(n-k) edges; minimum over k <= n/2 is at k = n//2.
+    graph = nx.complete_graph(8)
+    assert edge_expansion(graph) == pytest.approx(4.0)
+
+
+def test_cycle_expansion():
+    # C_n: the minimum cut is a contiguous arc of n/2 nodes crossed by 2 edges.
+    graph = nx.cycle_graph(10)
+    assert edge_expansion(graph) == pytest.approx(2 / 5)
+
+
+def test_path_graph_expansion():
+    # P_n: cutting in the middle crosses one edge.
+    graph = nx.path_graph(8)
+    assert edge_expansion(graph) == pytest.approx(1 / 4)
+
+
+def test_star_expansion_is_one():
+    # Star: any set of k leaves has k crossing edges -> expansion 1.
+    graph = nx.star_graph(9)
+    assert edge_expansion(graph) == pytest.approx(1.0)
+
+
+def test_disconnected_graph_has_zero_expansion():
+    graph = nx.Graph([(0, 1), (2, 3)])
+    assert edge_expansion(graph) == 0.0
+
+
+def test_single_edge_graph():
+    graph = nx.Graph([(0, 1)])
+    assert edge_expansion(graph) == pytest.approx(1.0)
+
+
+def test_too_small_graph_raises():
+    graph = nx.Graph()
+    graph.add_node(0)
+    with pytest.raises(ValidationError):
+        edge_expansion(graph)
+
+
+def test_edge_expansion_of_cut_matches_manual_count():
+    graph = nx.cycle_graph(6)
+    assert edge_expansion_of_cut(graph, {0, 1, 2}) == pytest.approx(2 / 3)
+
+
+def test_edge_expansion_of_cut_rejects_empty_and_full():
+    graph = nx.cycle_graph(4)
+    with pytest.raises(ValidationError):
+        edge_expansion_of_cut(graph, set())
+    with pytest.raises(ValidationError):
+        edge_expansion_of_cut(graph, set(graph.nodes()))
+
+
+def test_minimum_expansion_cut_exact_flag():
+    small = nx.cycle_graph(8)
+    result = minimum_expansion_cut(small)
+    assert result.exact is True
+    assert result.value == pytest.approx(edge_expansion_of_cut(small, result.cut))
+
+
+def test_large_graph_uses_approximation():
+    graph = nx.random_regular_graph(4, 40, seed=1)
+    result = minimum_expansion_cut(graph)
+    assert result.exact is False
+    # The returned cut certifies the returned value.
+    assert result.value == pytest.approx(edge_expansion_of_cut(graph, result.cut))
+
+
+def test_approximate_value_upper_bounds_exact():
+    # On a small graph, the approximation (forced via exact_limit=0) can only
+    # be >= the true minimum.
+    graph = nx.random_regular_graph(3, 14, seed=3)
+    exact = edge_expansion(graph)
+    approx = edge_expansion(graph, exact_limit=0)
+    assert approx >= exact - 1e-12
+
+
+def test_barbell_graph_has_small_expansion():
+    # Two cliques joined by one edge: the clique split crosses 1 edge.
+    graph = nx.barbell_graph(6, 0)
+    assert edge_expansion(graph) == pytest.approx(1 / 6)
+
+
+def test_expansion_bounds_order():
+    graph = nx.random_regular_graph(4, 30, seed=5)
+    lower, upper = edge_expansion_bounds(graph, samples=32, seed=1)
+    assert 0.0 <= lower <= upper
+
+
+def test_expansion_bounds_disconnected():
+    graph = nx.Graph([(0, 1), (2, 3)])
+    assert edge_expansion_bounds(graph) == (0.0, 0.0)
+
+
+def test_expander_has_constant_expansion():
+    graph = nx.random_regular_graph(6, 16, seed=2)
+    assert edge_expansion(graph) >= 1.0

@@ -1,0 +1,99 @@
+"""Tests for repro.spectral.laplacian."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.spectral.laplacian import (
+    algebraic_connectivity,
+    laplacian_matrix,
+    laplacian_spectrum,
+    normalized_laplacian_second_eigenvalue,
+    spectral_gap,
+    theorem2_lambda_lower_bound,
+)
+from repro.util.validation import ValidationError
+
+
+def test_laplacian_matrix_row_sums_zero():
+    graph = nx.cycle_graph(5)
+    matrix = laplacian_matrix(graph)
+    assert np.allclose(matrix.sum(axis=1), 0.0)
+
+
+def test_spectrum_smallest_eigenvalue_zero():
+    graph = nx.path_graph(6)
+    spectrum = laplacian_spectrum(graph)
+    assert spectrum[0] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_complete_graph_lambda2_is_n():
+    graph = nx.complete_graph(7)
+    assert algebraic_connectivity(graph) == pytest.approx(7.0, rel=1e-6)
+
+
+def test_cycle_lambda2_closed_form():
+    n = 10
+    graph = nx.cycle_graph(n)
+    expected = 2 - 2 * math.cos(2 * math.pi / n)
+    assert algebraic_connectivity(graph) == pytest.approx(expected, rel=1e-6)
+
+
+def test_disconnected_graph_lambda2_zero():
+    graph = nx.Graph([(0, 1), (2, 3)])
+    assert algebraic_connectivity(graph) == 0.0
+
+
+def test_lambda2_positive_iff_connected():
+    connected = nx.path_graph(5)
+    assert algebraic_connectivity(connected) > 0
+
+
+def test_sparse_path_agrees_with_dense():
+    graph = nx.random_regular_graph(4, 60, seed=1)
+    dense = algebraic_connectivity(graph, sparse_threshold=10**6)
+    sparse = algebraic_connectivity(graph, sparse_threshold=10)
+    assert sparse == pytest.approx(dense, rel=1e-4)
+
+
+def test_normalized_lambda2_in_unit_range():
+    graph = nx.random_regular_graph(4, 20, seed=2)
+    value = normalized_laplacian_second_eigenvalue(graph)
+    assert 0.0 < value <= 2.0
+
+
+def test_spectral_gap_half_normalized():
+    graph = nx.complete_graph(6)
+    assert spectral_gap(graph) == pytest.approx(
+        normalized_laplacian_second_eigenvalue(graph) / 2
+    )
+
+
+def test_single_node_rejected():
+    graph = nx.Graph()
+    graph.add_node(0)
+    with pytest.raises(ValidationError):
+        algebraic_connectivity(graph)
+
+
+def test_theorem2_bound_formula_cases():
+    # Case 2 dominates when lambda_ghost is tiny.
+    bound_small = theorem2_lambda_lower_bound(0.0001, 2, 4, 4)
+    assert bound_small == pytest.approx((0.0001**2) * 2 / (8 * (4 * 4 + 8) ** 2))
+    # Case 2's constant bound caps the value when lambda_ghost is large.
+    bound_large = theorem2_lambda_lower_bound(10.0, 2, 4, 4)
+    assert bound_large == pytest.approx(1.0 / (2 * (4 * 4 + 8) ** 2))
+
+
+def test_theorem2_bound_validation():
+    with pytest.raises(ValidationError):
+        theorem2_lambda_lower_bound(1.0, 1, 0, 4)
+    with pytest.raises(ValidationError):
+        theorem2_lambda_lower_bound(1.0, 1, 4, 0)
+
+
+def test_expander_lambda_bounded_away_from_zero():
+    graph = nx.random_regular_graph(6, 30, seed=3)
+    assert algebraic_connectivity(graph) > 0.5

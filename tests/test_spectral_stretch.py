@@ -1,0 +1,75 @@
+"""Tests for repro.spectral.stretch."""
+
+import networkx as nx
+import pytest
+
+from repro.spectral.stretch import (
+    average_stretch,
+    max_stretch,
+    pairwise_stretch,
+    stretch_against_ghost,
+)
+from repro.util.validation import ValidationError
+
+
+def test_identical_graphs_have_stretch_one():
+    graph = nx.random_regular_graph(4, 20, seed=1)
+    summary = stretch_against_ghost(graph, graph, sample_pairs=None)
+    assert summary.max_stretch == pytest.approx(1.0)
+    assert summary.average_stretch == pytest.approx(1.0)
+
+
+def test_removed_shortcut_increases_stretch():
+    ghost = nx.cycle_graph(8)
+    ghost.add_edge(0, 4)  # a chord
+    healed = nx.cycle_graph(8)  # the chord is "missing" in the healed graph
+    stretches = pairwise_stretch(healed, ghost, pairs=[(0, 4)])
+    assert stretches[(0, 4)] == pytest.approx(4.0)
+
+
+def test_pairs_disconnected_in_ghost_are_skipped():
+    ghost = nx.Graph([(0, 1), (2, 3)])
+    healed = nx.path_graph(4)
+    stretches = pairwise_stretch(healed, ghost)
+    assert (0, 2) not in stretches
+    assert (0, 1) in stretches
+
+
+def test_disconnected_healed_pair_reports_infinity():
+    ghost = nx.path_graph(4)
+    healed = nx.Graph()
+    healed.add_nodes_from(range(4))
+    healed.add_edge(0, 1)
+    healed.add_edge(2, 3)
+    stretches = pairwise_stretch(healed, ghost)
+    assert stretches[(0, 3)] == float("inf")
+
+
+def test_stretch_only_over_common_nodes():
+    ghost = nx.path_graph(6)
+    healed = nx.path_graph(4)  # nodes 4, 5 deleted
+    summary = stretch_against_ghost(healed, ghost, sample_pairs=None)
+    assert summary.pairs_compared == 6  # C(4, 2)
+
+
+def test_sampling_limits_pairs():
+    graph = nx.random_regular_graph(4, 30, seed=2)
+    summary = stretch_against_ghost(graph, graph, sample_pairs=10)
+    assert summary.pairs_compared <= 10
+
+
+def test_max_and_average_wrappers():
+    graph = nx.cycle_graph(10)
+    assert max_stretch(graph, graph) == pytest.approx(1.0)
+    assert average_stretch(graph, graph) == pytest.approx(1.0)
+
+
+def test_too_few_common_nodes_rejected():
+    with pytest.raises(ValidationError):
+        stretch_against_ghost(nx.path_graph(2), nx.Graph([(5, 6)]))
+
+
+def test_log_n_ratio_property():
+    graph = nx.cycle_graph(16)
+    summary = stretch_against_ghost(graph, graph, sample_pairs=None)
+    assert summary.log_n_ratio <= 1.0

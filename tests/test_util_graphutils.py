@@ -1,0 +1,88 @@
+"""Tests for repro.util.graphutils."""
+
+import networkx as nx
+import pytest
+
+from repro.util.graphutils import (
+    add_edge_if_absent,
+    connected_components_count,
+    copy_graph,
+    degree_map,
+    ensure_simple,
+    induced_degree,
+    is_simple,
+    max_degree,
+    min_degree,
+    neighbors_of,
+    safe_remove_node,
+)
+
+
+def test_copy_graph_is_independent():
+    graph = nx.path_graph(4)
+    clone = copy_graph(graph)
+    clone.add_edge(0, 3)
+    assert not graph.has_edge(0, 3)
+
+
+def test_is_simple_and_ensure_simple():
+    graph = nx.path_graph(3)
+    assert is_simple(graph)
+    graph.add_edge(1, 1)
+    assert not is_simple(graph)
+    with pytest.raises(ValueError):
+        ensure_simple(graph)
+
+
+def test_neighbors_of_sorted():
+    graph = nx.Graph([(5, 1), (5, 9), (5, 3)])
+    assert neighbors_of(graph, 5) == [1, 3, 9]
+
+
+def test_induced_degree():
+    graph = nx.complete_graph(5)
+    assert induced_degree(graph, 0, [1, 2]) == 2
+    assert induced_degree(graph, 0, []) == 0
+
+
+def test_safe_remove_node_returns_removed_edges():
+    graph = nx.star_graph(3)
+    removed = safe_remove_node(graph, 0)
+    assert len(removed) == 3
+    assert 0 not in graph
+
+
+def test_safe_remove_missing_node_is_noop():
+    graph = nx.path_graph(3)
+    assert safe_remove_node(graph, 99) == []
+    assert graph.number_of_nodes() == 3
+
+
+def test_connected_components_count():
+    graph = nx.Graph()
+    assert connected_components_count(graph) == 0
+    graph.add_edges_from([(0, 1), (2, 3)])
+    assert connected_components_count(graph) == 2
+
+
+def test_add_edge_if_absent():
+    graph = nx.Graph()
+    graph.add_nodes_from([0, 1])
+    assert add_edge_if_absent(graph, 0, 1) is True
+    assert add_edge_if_absent(graph, 0, 1) is False
+    assert add_edge_if_absent(graph, 0, 0) is False
+    assert graph.number_of_edges() == 1
+
+
+def test_degree_map_and_extremes():
+    graph = nx.star_graph(4)
+    degrees = degree_map(graph)
+    assert degrees[0] == 4
+    assert max_degree(graph) == 4
+    assert min_degree(graph) == 1
+
+
+def test_degree_extremes_empty_graph():
+    graph = nx.Graph()
+    assert max_degree(graph) == 0
+    assert min_degree(graph) == 0

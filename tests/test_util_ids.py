@@ -1,0 +1,63 @@
+"""Tests for repro.util.ids."""
+
+import pytest
+
+from repro.util.ids import IdAllocator
+
+
+def test_allocate_monotone():
+    allocator = IdAllocator()
+    first = allocator.allocate()
+    second = allocator.allocate()
+    assert second == first + 1
+
+
+def test_allocate_many_returns_distinct_ids():
+    allocator = IdAllocator()
+    ids = allocator.allocate_many(10)
+    assert len(set(ids)) == 10
+
+
+def test_allocate_many_negative_rejected():
+    allocator = IdAllocator()
+    with pytest.raises(ValueError):
+        allocator.allocate_many(-1)
+
+
+def test_from_existing_never_collides():
+    allocator = IdAllocator.from_existing([3, 7, 11])
+    fresh = allocator.allocate()
+    assert fresh == 12
+    assert 7 in allocator
+
+
+def test_from_existing_empty():
+    allocator = IdAllocator.from_existing([])
+    assert allocator.allocate() == 0
+
+
+def test_reserve_bumps_next_id():
+    allocator = IdAllocator()
+    allocator.reserve(5)
+    assert allocator.allocate() == 6
+
+
+def test_reserve_below_next_id_does_not_lower():
+    allocator = IdAllocator(next_id=10)
+    allocator.reserve(2)
+    assert allocator.allocate() == 10
+
+
+def test_is_allocated_and_contains():
+    allocator = IdAllocator()
+    value = allocator.allocate()
+    assert allocator.is_allocated(value)
+    assert value in allocator
+    assert (value + 100) not in allocator
+
+
+def test_len_and_iter_sorted():
+    allocator = IdAllocator.from_existing([5, 1, 3])
+    allocator.allocate()
+    assert len(allocator) == 4
+    assert list(allocator) == sorted(allocator)

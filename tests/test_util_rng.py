@@ -1,0 +1,73 @@
+"""Tests for repro.util.rng."""
+
+import pytest
+
+from repro.util.rng import SeededRng, derive_seed
+
+
+def test_same_seed_same_stream():
+    first = SeededRng(42)
+    second = SeededRng(42)
+    assert [first.randint(0, 100) for _ in range(10)] == [second.randint(0, 100) for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    first = SeededRng(1)
+    second = SeededRng(2)
+    assert [first.randint(0, 10**9) for _ in range(5)] != [second.randint(0, 10**9) for _ in range(5)]
+
+
+def test_derive_seed_is_deterministic():
+    assert derive_seed(7, "adversary", 3) == derive_seed(7, "adversary", 3)
+
+
+def test_derive_seed_depends_on_labels():
+    assert derive_seed(7, "a") != derive_seed(7, "b")
+
+
+def test_child_streams_are_independent_and_reproducible():
+    parent = SeededRng(9)
+    child_a = parent.child("x")
+    child_b = SeededRng(9).child("x")
+    assert child_a.randint(0, 10**9) == child_b.randint(0, 10**9)
+
+
+def test_choice_empty_raises():
+    with pytest.raises(ValueError):
+        SeededRng(0).choice([])
+
+
+def test_shuffle_returns_permutation_without_mutating_input():
+    rng = SeededRng(3)
+    original = [1, 2, 3, 4, 5]
+    shuffled = rng.shuffle(original)
+    assert sorted(shuffled) == original
+    assert original == [1, 2, 3, 4, 5]
+
+
+def test_permutation_covers_range():
+    rng = SeededRng(5)
+    perm = rng.permutation(10)
+    assert sorted(perm) == list(range(10))
+
+
+def test_coin_probability_bounds():
+    rng = SeededRng(0)
+    with pytest.raises(ValueError):
+        rng.coin(1.5)
+    assert rng.coin(1.0) is True
+    assert rng.coin(0.0) is False
+
+
+def test_sample_distinct():
+    rng = SeededRng(1)
+    sample = rng.sample(list(range(50)), 10)
+    assert len(set(sample)) == 10
+
+
+def test_state_roundtrip():
+    rng = SeededRng(8)
+    state = rng.getstate()
+    first = rng.randint(0, 1000)
+    rng.setstate(state)
+    assert rng.randint(0, 1000) == first

@@ -1,0 +1,69 @@
+"""Tests for repro.util.validation and repro.util.eventlog."""
+
+import pytest
+
+from repro.util.eventlog import EventKind, EventLog
+from repro.util.validation import (
+    ValidationError,
+    require,
+    require_in,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+
+def test_require_passes_and_fails():
+    require(True, "fine")
+    with pytest.raises(ValidationError, match="broken"):
+        require(False, "broken")
+
+
+def test_require_positive():
+    require_positive(1, "x")
+    with pytest.raises(ValidationError):
+        require_positive(0, "x")
+
+
+def test_require_non_negative():
+    require_non_negative(0, "x")
+    with pytest.raises(ValidationError):
+        require_non_negative(-1, "x")
+
+
+def test_require_probability():
+    require_probability(0.5, "p")
+    with pytest.raises(ValidationError):
+        require_probability(1.5, "p")
+
+
+def test_require_in():
+    require_in("a", {"a", "b"}, "opt")
+    with pytest.raises(ValidationError):
+        require_in("c", {"a", "b"}, "opt")
+
+
+def test_eventlog_record_and_filter():
+    log = EventLog()
+    log.record(1, EventKind.INSERT, node=5)
+    log.record(2, EventKind.DELETE, node=5)
+    log.record(2, EventKind.CLOUD_CREATED, cloud=1)
+    assert len(log) == 3
+    assert log.count(EventKind.DELETE) == 1
+    assert len(log.events(timestep=2)) == 2
+    assert log.events(kind=EventKind.INSERT)[0].payload["node"] == 5
+
+
+def test_eventlog_clear_and_indexing():
+    log = EventLog()
+    event = log.record(0, EventKind.NOTE, text="hello")
+    assert log[0] is event
+    log.clear()
+    assert len(log) == 0
+
+
+def test_eventlog_iteration_order():
+    log = EventLog()
+    for timestep in range(5):
+        log.record(timestep, EventKind.NOTE)
+    assert [event.timestep for event in log] == list(range(5))
