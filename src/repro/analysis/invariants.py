@@ -5,20 +5,32 @@ and returns a structured result with the measured quantity, the bound the
 theorem promises, and a boolean verdict.  The experiment harness evaluates
 them on a cadence; the property-based tests evaluate them after every single
 adversarial event.
+
+Every expensive checker accepts an optional
+:class:`~repro.perf.engine.MetricsEngine` (plus the healed graph's version):
+when given, expansion / lambda / stretch values are served from the engine's
+version-keyed cache, so an invariant check right after a metric snapshot of
+the same graph version costs nothing.  With an engine the engine's fidelity
+configuration (exact limit, sample count, seed) wins over the per-call
+``exact_limit`` / ``sample_pairs`` / ``seed`` arguments.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import networkx as nx
 
 from repro.core.ghost import GhostGraph
-from repro.spectral.expansion import edge_expansion
+from repro.spectral.expansion import DEFAULT_EXACT_LIMIT, edge_expansion
 from repro.spectral.laplacian import algebraic_connectivity, theorem2_lambda_lower_bound
 from repro.spectral.stretch import stretch_against_ghost
 from repro.util.ids import NodeId
+
+if TYPE_CHECKING:  # avoids a runtime import cycle: the engine imports nothing from here at import time
+    from repro.perf.engine import MetricsEngine
 
 
 @dataclass(frozen=True)
@@ -130,6 +142,8 @@ def check_stretch_invariant(
     allowed_constant: float = 4.0,
     sample_pairs: int | None = 200,
     seed: int = 0,
+    engine: "MetricsEngine | None" = None,
+    healed_version: int | None = None,
 ) -> StretchInvariantResult:
     """Check that the maximum stretch is at most ``allowed_constant * log2(n)``.
 
@@ -142,9 +156,19 @@ def check_stretch_invariant(
     common = set(healed.nodes()) & ghost.alive_nodes()
     if len(common) < 2:
         return StretchInvariantResult(True, 0.0, log_n, allowed_constant, bound)
-    summary = stretch_against_ghost(
-        healed, ghost.alive_subgraph(), sample_pairs=sample_pairs, seed=seed
-    )
+    if engine is not None:
+        summary = engine.stretch_summary(
+            healed,
+            ghost.alive_subgraph,
+            healed_version=healed_version,
+            ghost_version=ghost.version,
+        )
+        if summary is None:
+            return StretchInvariantResult(True, 0.0, log_n, allowed_constant, bound)
+    else:
+        summary = stretch_against_ghost(
+            healed, ghost.alive_subgraph(), sample_pairs=sample_pairs, seed=seed
+        )
     return StretchInvariantResult(
         holds=summary.max_stretch <= bound,
         max_stretch=summary.max_stretch,
@@ -158,8 +182,10 @@ def check_expansion_invariant(
     healed: nx.Graph,
     ghost: GhostGraph,
     alpha: float = 1.0,
-    exact_limit: int = 18,
+    exact_limit: int = DEFAULT_EXACT_LIMIT,
     seed: int = 0,
+    engine: "MetricsEngine | None" = None,
+    healed_version: int | None = None,
 ) -> ExpansionInvariantResult:
     """Check ``h(G_t) >= min(alpha, h(G'_t))``.
 
@@ -173,8 +199,15 @@ def check_expansion_invariant(
     ghost_full = ghost.graph
     if healed.number_of_nodes() < 2 or ghost_full.number_of_nodes() < 2:
         return ExpansionInvariantResult(True, 0.0, 0.0, alpha, 0.0)
-    healed_h = edge_expansion(healed, exact_limit=exact_limit, seed=seed)
-    ghost_h = edge_expansion(ghost_full, exact_limit=exact_limit, seed=seed)
+    if engine is not None:
+        healed_h = engine.edge_expansion(healed, version=healed_version, label="healed")
+        # Keyed on graph_version: deletions never change the full ghost graph.
+        ghost_h = engine.edge_expansion(
+            ghost_full, version=ghost.graph_version, label="ghost_full"
+        )
+    else:
+        healed_h = edge_expansion(healed, exact_limit=exact_limit, seed=seed)
+        ghost_h = edge_expansion(ghost_full, exact_limit=exact_limit, seed=seed)
     bound = min(alpha, ghost_h)
     tolerance = 1e-9
     return ExpansionInvariantResult(
@@ -187,7 +220,11 @@ def check_expansion_invariant(
 
 
 def check_spectral_invariant(
-    healed: nx.Graph, ghost: GhostGraph, kappa: int
+    healed: nx.Graph,
+    ghost: GhostGraph,
+    kappa: int,
+    engine: "MetricsEngine | None" = None,
+    healed_version: int | None = None,
 ) -> SpectralInvariantResult:
     """Check the explicit Theorem 2(4) lower bound on ``lambda(G_t)``.
 
@@ -197,8 +234,16 @@ def check_spectral_invariant(
     ghost_full = ghost.graph
     if healed.number_of_nodes() < 2 or ghost_full.number_of_nodes() < 2:
         return SpectralInvariantResult(True, 0.0, 0.0, 0.0)
-    healed_lambda = algebraic_connectivity(healed)
-    ghost_lambda = algebraic_connectivity(ghost_full)
+    if engine is not None:
+        healed_lambda = engine.algebraic_connectivity(
+            healed, version=healed_version, label="healed"
+        )
+        ghost_lambda = engine.algebraic_connectivity(
+            ghost_full, version=ghost.graph_version, label="ghost_full"
+        )
+    else:
+        healed_lambda = algebraic_connectivity(healed)
+        ghost_lambda = algebraic_connectivity(ghost_full)
     degrees = [degree for _, degree in ghost_full.degree()]
     d_min = max(1, min(degrees)) if degrees else 1
     d_max = max(1, max(degrees)) if degrees else 1
@@ -218,20 +263,44 @@ def check_theorem2(
     kappa: int,
     alpha: float = 1.0,
     stretch_constant: float = 4.0,
-    exact_limit: int = 18,
+    exact_limit: int = DEFAULT_EXACT_LIMIT,
     sample_pairs: int | None = 200,
     seed: int = 0,
+    engine: "MetricsEngine | None" = None,
+    healed_version: int | None = None,
 ) -> Theorem2Verdict:
-    """Evaluate all four Theorem 2 guarantees plus connectivity."""
-    connected = healed.number_of_nodes() <= 1 or nx.is_connected(healed)
+    """Evaluate all four Theorem 2 guarantees plus connectivity.
+
+    When ``engine`` (and ``healed_version``) are given, every expensive
+    quantity is served from the engine's version-keyed cache — a verdict
+    taken right after a snapshot of the same graph versions is free.
+    """
+    if engine is not None:
+        connected = engine.connected(healed, version=healed_version, label="healed")
+    else:
+        connected = healed.number_of_nodes() <= 1 or nx.is_connected(healed)
     return Theorem2Verdict(
         degree=check_degree_invariant(healed, ghost, kappa),
         stretch=check_stretch_invariant(
-            healed, ghost, allowed_constant=stretch_constant, sample_pairs=sample_pairs, seed=seed
+            healed,
+            ghost,
+            allowed_constant=stretch_constant,
+            sample_pairs=sample_pairs,
+            seed=seed,
+            engine=engine,
+            healed_version=healed_version,
         ),
         expansion=check_expansion_invariant(
-            healed, ghost, alpha=alpha, exact_limit=exact_limit, seed=seed
+            healed,
+            ghost,
+            alpha=alpha,
+            exact_limit=exact_limit,
+            seed=seed,
+            engine=engine,
+            healed_version=healed_version,
         ),
-        spectral=check_spectral_invariant(healed, ghost, kappa),
+        spectral=check_spectral_invariant(
+            healed, ghost, kappa, engine=engine, healed_version=healed_version
+        ),
         connected=connected,
     )

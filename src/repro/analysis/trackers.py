@@ -9,12 +9,16 @@ to date after every single event.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import networkx as nx
 
 from repro.core.ghost import GhostGraph
 from repro.spectral.metrics import GraphMetrics, snapshot_metrics
 from repro.util.ids import NodeId
+
+if TYPE_CHECKING:
+    from repro.perf.engine import MetricsEngine
 
 
 class DegreeRatioTracker:
@@ -60,26 +64,50 @@ class TimelineEntry:
 
 @dataclass
 class MetricTimeline:
-    """A time series of :class:`~repro.spectral.metrics.GraphMetrics` snapshots."""
+    """A time series of :class:`~repro.spectral.metrics.GraphMetrics` snapshots.
+
+    When an ``engine`` is attached, snapshots are routed through its
+    version-keyed cache (the engine's fidelity configuration wins over the
+    ``exact_limit`` / ``stretch_sample_pairs`` fields, which the harness keeps
+    in sync anyway); without one the original stand-alone path is used.
+    """
 
     exact_limit: int = 16
     stretch_sample_pairs: int | None = 100
     entries: list[TimelineEntry] = field(default_factory=list)
+    engine: "MetricsEngine | None" = None
 
     def record(
-        self, timestep: int, healed: nx.Graph, ghost: GhostGraph, worst_degree_ratio: float
+        self,
+        timestep: int,
+        healed: nx.Graph,
+        ghost: GhostGraph,
+        worst_degree_ratio: float,
+        healed_version: int | None = None,
     ) -> TimelineEntry:
         """Snapshot both graphs and append a timeline entry."""
         ghost_alive = ghost.alive_subgraph()
-        healed_metrics = snapshot_metrics(
-            healed,
-            ghost=ghost_alive,
-            exact_limit=self.exact_limit,
-            stretch_sample_pairs=self.stretch_sample_pairs,
-        )
-        ghost_metrics = snapshot_metrics(
-            ghost_alive, exact_limit=self.exact_limit, stretch_sample_pairs=None
-        )
+        if self.engine is not None:
+            healed_metrics = self.engine.snapshot(
+                healed,
+                ghost=ghost_alive,
+                version=healed_version,
+                ghost_version=ghost.version,
+                label="healed",
+            )
+            ghost_metrics = self.engine.snapshot(
+                ghost_alive, version=ghost.version, label="ghost_alive"
+            )
+        else:
+            healed_metrics = snapshot_metrics(
+                healed,
+                ghost=ghost_alive,
+                exact_limit=self.exact_limit,
+                stretch_sample_pairs=self.stretch_sample_pairs,
+            )
+            ghost_metrics = snapshot_metrics(
+                ghost_alive, exact_limit=self.exact_limit, stretch_sample_pairs=None
+            )
         entry = TimelineEntry(
             timestep=timestep,
             healed=healed_metrics,

@@ -30,6 +30,8 @@ class GhostGraph:
     def __init__(self, initial_graph: nx.Graph | None = None):
         self._graph = nx.Graph()
         self._deleted: set[NodeId] = set()
+        self._version = 0
+        self._graph_version = 0
         if initial_graph is not None:
             self._graph.add_nodes_from(initial_graph.nodes())
             self._graph.add_edges_from(initial_graph.edges())
@@ -49,17 +51,46 @@ class GhostGraph:
         neighbor_list = list(neighbors)
         for neighbor in neighbor_list:
             require(neighbor in self._graph, f"insertion neighbor {neighbor} unknown to G'")
+        self._version += 1
+        self._graph_version += 1
         self._graph.add_node(node)
         for neighbor in neighbor_list:
             if neighbor != node:
                 self._graph.add_edge(node, neighbor)
 
     def record_deletion(self, node: NodeId) -> None:
-        """Record that ``node`` was deleted (the ghost graph itself is unchanged)."""
+        """Record that ``node`` was deleted (the ghost graph itself is unchanged).
+
+        The version counter still advances: the *alive subgraph* view changes
+        even though the full ghost graph does not.
+        """
         require(node in self._graph, f"cannot delete unknown node {node}")
+        self._version += 1
         self._deleted.add(node)
 
     # -- views -----------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every recorded event.
+
+        Plays the same cache-keying role as
+        :attr:`repro.core.healer.SelfHealer.graph_version`: equal versions
+        guarantee both the full ghost graph and its alive subgraph are
+        unchanged.  Metrics of the *full* ghost graph should key on
+        :attr:`graph_version` instead, which deletions do not touch.
+        """
+        return self._version
+
+    @property
+    def graph_version(self) -> int:
+        """Counter bumped only when the full ghost graph ``G'_t`` changes.
+
+        Deletions alter the alive view but never ``G'_t`` itself, so
+        full-ghost metrics (Theorem 2's expansion/lambda reference values)
+        keyed on this counter stay cached through deletion-heavy runs.
+        """
+        return self._graph_version
 
     @property
     def graph(self) -> nx.Graph:
@@ -97,4 +128,6 @@ class GhostGraph:
         clone = GhostGraph()
         clone._graph = self._graph.copy()
         clone._deleted = set(self._deleted)
+        clone._version = self._version
+        clone._graph_version = self._graph_version
         return clone

@@ -45,6 +45,7 @@ class SelfHealer(ABC):
         self._rng = SeededRng(seed)
         self._graph = nx.Graph()
         self._timestep = 0
+        self._graph_version = 0
         self.event_log = EventLog()
 
     # -- lifecycle ---------------------------------------------------------------
@@ -61,6 +62,7 @@ class SelfHealer(ABC):
         for u, v in graph.edges():
             self._add_black_edge(u, v)
         self._timestep = 0
+        self._bump_graph_version()
         self.event_log.clear()
         self._after_initialize()
 
@@ -72,6 +74,7 @@ class SelfHealer(ABC):
     def handle_insertion(self, node: NodeId, neighbors: Iterable[NodeId]) -> RepairReport:
         """Process the adversarial insertion of ``node`` attached to ``neighbors``."""
         self._timestep += 1
+        self._bump_graph_version()
         require(node not in self._graph, f"node {node} already exists")
         neighbor_list = sorted(set(neighbors))
         for neighbor in neighbor_list:
@@ -90,6 +93,7 @@ class SelfHealer(ABC):
     def handle_deletion(self, node: NodeId) -> RepairReport:
         """Process the adversarial deletion of ``node`` and heal afterwards."""
         self._timestep += 1
+        self._bump_graph_version()
         require(node in self._graph, f"cannot delete unknown node {node}")
         neighbors = sorted(self._graph.neighbors(node))
         incident_colors: dict[NodeId, EdgeColor] = {
@@ -131,6 +135,22 @@ class SelfHealer(ABC):
         """The number of adversarial events processed so far."""
         return self._timestep
 
+    @property
+    def graph_version(self) -> int:
+        """Monotonic counter bumped on every mutation of the healed graph.
+
+        The :class:`repro.perf.engine.MetricsEngine` keys its metric cache on
+        this value: two snapshots taken at the same version are guaranteed to
+        see an identical graph, so the second one is free.  The counter may
+        advance several times within one adversarial event (once per edge
+        claimed/released); only *equality* between observations is meaningful.
+        """
+        return self._graph_version
+
+    def _bump_graph_version(self) -> None:
+        """Invalidate cached metrics: the healed graph is about to change."""
+        self._graph_version += 1
+
     def degree(self, node: NodeId) -> int:
         """Return the degree of ``node`` in the healed graph (0 if absent)."""
         if node not in self._graph:
@@ -153,6 +173,7 @@ class SelfHealer(ABC):
             # any later retirement of the healing cloud.
             self._graph.edges[u, v]["was_black"] = True
             return False
+        self._bump_graph_version()
         self._graph.add_edge(u, v, color=BLACK, was_black=True, owners=set())
         return True
 
@@ -160,6 +181,7 @@ class SelfHealer(ABC):
         """Add an (uncoloured) healing edge; used by baselines that ignore colours."""
         if u == v or self._graph.has_edge(u, v):
             return False
+        self._bump_graph_version()
         self._graph.add_edge(u, v, color=BLACK, was_black=False, owners=set())
         report.edges_added.append((u, v))
         return True

@@ -436,6 +436,7 @@ class Xheal(SelfHealer):
     def _claim_edge(self, cloud: Cloud, u: NodeId, v: NodeId, report: RepairReport) -> None:
         """Have ``cloud`` own edge ``(u, v)``, creating or recolouring it as needed."""
         if not self._graph.has_edge(u, v):
+            self._bump_graph_version()
             self._graph.add_edge(u, v, color=cloud.color, was_black=False, owners={cloud.cloud_id})
             report.edges_added.append((u, v))
             return
@@ -468,6 +469,7 @@ class Xheal(SelfHealer):
                 data["color"] = BLACK
                 report.edges_recolored.append((u, v))
         else:
+            self._bump_graph_version()
             self._graph.remove_edge(u, v)
             report.edges_removed.append((u, v))
 

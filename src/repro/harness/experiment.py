@@ -16,11 +16,12 @@ import networkx as nx
 
 from repro.adversary.base import Adversary, AdversaryEvent
 from repro.analysis.amortized import AmortizedCostSummary, CostLedger
-from repro.analysis.invariants import Theorem2Verdict, check_theorem2
+from repro.analysis.invariants import Theorem2Verdict
 from repro.analysis.trackers import DegreeRatioTracker, MetricTimeline
 from repro.core.ghost import GhostGraph
 from repro.core.healer import SelfHealer
-from repro.spectral.metrics import GraphMetrics, snapshot_metrics
+from repro.perf.engine import MetricsEngine
+from repro.spectral.metrics import GraphMetrics
 from repro.util.validation import require
 
 
@@ -38,17 +39,32 @@ class ExperimentConfig:
     timesteps:
         Maximum number of adversarial events to play.
     metric_every:
-        Record a full (expensive) metric snapshot every this many timesteps;
-        0 disables intermediate snapshots (a final snapshot is always taken).
+        Record a full metric snapshot every this many timesteps; 0 disables
+        intermediate snapshots (a final snapshot is always taken).  Snapshots
+        go through a single :class:`~repro.perf.engine.MetricsEngine` keyed on
+        the healer's ``graph_version`` / the ghost's ``version`` counters, so
+        when ``metric_every`` and ``check_invariants_every`` coincide on a
+        timestep (and at the end of the run) the invariant check reuses the
+        snapshot's expansion / lambda / stretch values instead of recomputing
+        them — an unchanged graph is never measured twice.
     kappa:
         The kappa used for invariant checking / cost bounds (should match the
         healer's kappa for Xheal; for baselines it only parameterises the
         reporting).
     check_invariants_every:
         Run the full Theorem 2 check every this many timesteps (0 = only at
-        the end).
+        the end).  Served by the same engine/cache as ``metric_every``.
+    exact_expansion_limit:
+        Graphs with at most this many nodes get *exact* expansion and
+        conductance values (vectorized Gray-code enumeration of all cuts,
+        see :mod:`repro.perf.kernels`); larger graphs get the certified
+        sweep+sampling upper bound.  The vectorized kernel makes ~22 nodes
+        affordable where the old Python rescan capped out near 18.
     stretch_sample_pairs:
         Number of node pairs sampled for stretch measurements (None = all).
+        Sampling happens *before* any shortest-path work: only the sampled
+        sources are BFS'd, so the per-snapshot cost is O(k * (n + m)) rather
+        than all-pairs.
     """
 
     healer_factory: Callable[[], SelfHealer]
@@ -82,6 +98,7 @@ class ExperimentResult:
     worst_degree_ratio: float
     trace: list[AdversaryEvent] = field(default_factory=list)
     intermediate_verdicts: list[Theorem2Verdict] = field(default_factory=list)
+    cache_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def connected(self) -> bool:
@@ -140,9 +157,15 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
 
     ledger = CostLedger(kappa=config.kappa)
     degree_tracker = DegreeRatioTracker(kappa=config.kappa)
+    engine = MetricsEngine(
+        exact_limit=config.exact_expansion_limit,
+        stretch_sample_pairs=config.stretch_sample_pairs,
+        seed=config.seed,
+    )
     timeline = MetricTimeline(
         exact_limit=config.exact_expansion_limit,
         stretch_sample_pairs=config.stretch_sample_pairs,
+        engine=engine,
     )
     trace: list[AdversaryEvent] = []
     verdicts: list[Theorem2Verdict] = []
@@ -174,40 +197,35 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         worst_ratio = degree_tracker.observe(healer.graph, ghost)
 
         if config.metric_every and timestep % config.metric_every == 0:
-            timeline.record(timestep, healer.graph, ghost, worst_ratio)
+            timeline.record(
+                timestep, healer.graph, ghost, worst_ratio, healed_version=healer.graph_version
+            )
         if config.check_invariants_every and timestep % config.check_invariants_every == 0:
             verdicts.append(
-                check_theorem2(
+                engine.check_theorem2(
                     healer.graph,
                     ghost,
                     kappa=config.kappa,
-                    exact_limit=config.exact_expansion_limit,
-                    sample_pairs=config.stretch_sample_pairs,
-                    seed=config.seed,
+                    healed_version=healer.graph_version,
                 )
             )
 
     ghost_alive = ghost.alive_subgraph()
-    final_metrics = snapshot_metrics(
+    final_metrics = engine.snapshot(
         healer.graph,
         ghost=ghost_alive,
-        exact_limit=config.exact_expansion_limit,
-        stretch_sample_pairs=config.stretch_sample_pairs,
-        seed=config.seed,
+        version=healer.graph_version,
+        ghost_version=ghost.version,
+        label="healed",
     )
-    ghost_metrics = snapshot_metrics(
-        ghost.graph,
-        exact_limit=config.exact_expansion_limit,
-        stretch_sample_pairs=None,
-        seed=config.seed,
+    ghost_metrics = engine.snapshot(
+        ghost.graph, version=ghost.graph_version, label="ghost_full"
     )
-    final_verdict = check_theorem2(
+    final_verdict = engine.check_theorem2(
         healer.graph,
         ghost,
         kappa=config.kappa,
-        exact_limit=config.exact_expansion_limit,
-        sample_pairs=config.stretch_sample_pairs,
-        seed=config.seed,
+        healed_version=healer.graph_version,
     )
 
     return ExperimentResult(
@@ -226,6 +244,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         worst_degree_ratio=degree_tracker.max_ratio_seen,
         trace=trace,
         intermediate_verdicts=verdicts,
+        cache_stats=engine.cache_stats(),
     )
 
 
@@ -249,7 +268,14 @@ def run_healer_on_trace(
     ghost = GhostGraph(initial_graph)
     ledger = CostLedger(kappa=kappa)
     degree_tracker = DegreeRatioTracker(kappa=kappa)
-    timeline = MetricTimeline(exact_limit=exact_expansion_limit, stretch_sample_pairs=stretch_sample_pairs)
+    engine = MetricsEngine(
+        exact_limit=exact_expansion_limit, stretch_sample_pairs=stretch_sample_pairs
+    )
+    timeline = MetricTimeline(
+        exact_limit=exact_expansion_limit,
+        stretch_sample_pairs=stretch_sample_pairs,
+        engine=engine,
+    )
     insertions = 0
     deletions = 0
     executed = 0
@@ -282,14 +308,16 @@ def run_healer_on_trace(
         degree_tracker.observe(healer.graph, ghost)
 
     ghost_alive = ghost.alive_subgraph()
-    final_metrics = snapshot_metrics(
-        healer.graph, ghost=ghost_alive, exact_limit=exact_expansion_limit,
-        stretch_sample_pairs=stretch_sample_pairs,
+    final_metrics = engine.snapshot(
+        healer.graph,
+        ghost=ghost_alive,
+        version=healer.graph_version,
+        ghost_version=ghost.version,
+        label="healed",
     )
-    ghost_metrics = snapshot_metrics(ghost.graph, exact_limit=exact_expansion_limit, stretch_sample_pairs=None)
-    final_verdict = check_theorem2(
-        healer.graph, ghost, kappa=kappa, exact_limit=exact_expansion_limit,
-        sample_pairs=stretch_sample_pairs,
+    ghost_metrics = engine.snapshot(ghost.graph, version=ghost.graph_version, label="ghost_full")
+    final_verdict = engine.check_theorem2(
+        healer.graph, ghost, kappa=kappa, healed_version=healer.graph_version
     )
     return ExperimentResult(
         healer_name=healer.name,
@@ -306,4 +334,5 @@ def run_healer_on_trace(
         cost_summary=ledger.summary(),
         worst_degree_ratio=degree_tracker.max_ratio_seen,
         trace=list(trace),
+        cache_stats=engine.cache_stats(),
     )

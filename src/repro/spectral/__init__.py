@@ -18,9 +18,11 @@ sampled approximations for larger ones, as documented per function.
 """
 
 from repro.spectral.expansion import (
+    crossing_edges_of_cut,
     edge_expansion,
     edge_expansion_bounds,
     edge_expansion_of_cut,
+    exact_minimum_cut_reference,
     minimum_expansion_cut,
 )
 from repro.spectral.cheeger import (
@@ -28,11 +30,14 @@ from repro.spectral.cheeger import (
     cheeger_constant,
     cheeger_constant_of_cut,
     conductance_sweep,
+    exact_cheeger_reference,
 )
 from repro.spectral.laplacian import (
     algebraic_connectivity,
+    algebraic_connectivity_reference,
     laplacian_matrix,
     laplacian_spectrum,
+    normalized_lambda2_reference,
     normalized_laplacian_second_eigenvalue,
     spectral_gap,
     theorem2_lambda_lower_bound,
@@ -41,7 +46,9 @@ from repro.spectral.stretch import (
     average_stretch,
     max_stretch,
     pairwise_stretch,
+    pairwise_stretch_reference,
     stretch_against_ghost,
+    stretch_against_ghost_reference,
 )
 from repro.spectral.mixing import (
     lazy_walk_matrix,
@@ -51,24 +58,31 @@ from repro.spectral.mixing import (
 from repro.spectral.metrics import GraphMetrics, compare_metrics, snapshot_metrics
 
 __all__ = [
+    "crossing_edges_of_cut",
     "edge_expansion",
     "edge_expansion_bounds",
     "edge_expansion_of_cut",
+    "exact_minimum_cut_reference",
     "minimum_expansion_cut",
     "cheeger_bounds_from_lambda",
     "cheeger_constant",
     "cheeger_constant_of_cut",
     "conductance_sweep",
+    "exact_cheeger_reference",
     "algebraic_connectivity",
+    "algebraic_connectivity_reference",
     "laplacian_matrix",
     "laplacian_spectrum",
+    "normalized_lambda2_reference",
     "normalized_laplacian_second_eigenvalue",
     "spectral_gap",
     "theorem2_lambda_lower_bound",
     "average_stretch",
     "max_stretch",
     "pairwise_stretch",
+    "pairwise_stretch_reference",
     "stretch_against_ghost",
+    "stretch_against_ghost_reference",
     "lazy_walk_matrix",
     "mixing_time_bound_from_lambda",
     "spectral_mixing_time",

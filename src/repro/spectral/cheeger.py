@@ -19,11 +19,15 @@ from typing import Iterable
 import networkx as nx
 import numpy as np
 
+from repro.perf.kernels import MAX_EXACT_NODES, exact_minimum_cheeger_cut
+from repro.spectral.expansion import crossing_edges_of_cut
 from repro.util.ids import NodeId
 from repro.util.rng import SeededRng
 from repro.util.validation import require
 
-DEFAULT_EXACT_LIMIT = 18
+#: Kept in lockstep with :data:`repro.spectral.expansion.DEFAULT_EXACT_LIMIT`:
+#: the vectorized Gray-code kernel makes 22 nodes affordable.
+DEFAULT_EXACT_LIMIT = 22
 
 
 @dataclass(frozen=True)
@@ -40,11 +44,15 @@ def _volume(graph: nx.Graph, members: set[NodeId]) -> int:
 
 
 def cheeger_constant_of_cut(graph: nx.Graph, cut: Iterable[NodeId]) -> float:
-    """Return the conductance of the explicit cut ``S = cut``."""
-    members = set(cut)
+    """Return the conductance of the explicit cut ``S = cut``.
+
+    A set/frozenset ``cut`` is used as-is, and only edges incident to ``S``
+    are scanned — O(vol(S)), not the O(m) full rescan of the original.
+    """
+    members = cut if isinstance(cut, (set, frozenset)) else set(cut)
     require(bool(members), "cut must be non-empty")
     require(len(members) < graph.number_of_nodes(), "cut must be a strict subset of V")
-    crossing = sum(1 for u, v in graph.edges() if (u in members) != (v in members))
+    crossing = crossing_edges_of_cut(graph, members)
     vol_s = _volume(graph, members)
     vol_rest = 2 * graph.number_of_edges() - vol_s
     denominator = min(vol_s, vol_rest)
@@ -54,6 +62,13 @@ def cheeger_constant_of_cut(graph: nx.Graph, cut: Iterable[NodeId]) -> float:
 
 
 def _exact_cheeger(graph: nx.Graph) -> CheegerResult:
+    """Exact minimum conductance cut via the vectorized Gray-code kernel."""
+    value, cut = exact_minimum_cheeger_cut(graph)
+    return CheegerResult(value, cut, exact=True)
+
+
+def exact_cheeger_reference(graph: nx.Graph) -> CheegerResult:
+    """Brute-force conductance minimisation, kept as equivalence-test ground truth."""
     nodes = list(graph.nodes())
     n = len(nodes)
     best_value = float("inf")
@@ -121,7 +136,10 @@ def cheeger_constant(
     if not nx.is_connected(graph):
         return 0.0
     if n <= exact_limit:
-        return _exact_cheeger(graph).value
+        if n <= MAX_EXACT_NODES:
+            return _exact_cheeger(graph).value
+        # Exactness beyond the vectorized kernel's cap: brute force, not error.
+        return exact_cheeger_reference(graph).value
     best = conductance_sweep(graph).value
     rng = SeededRng(seed)
     nodes = list(graph.nodes())

@@ -12,7 +12,7 @@ from dataclasses import dataclass, asdict
 import networkx as nx
 
 from repro.spectral.cheeger import cheeger_constant
-from repro.spectral.expansion import edge_expansion
+from repro.spectral.expansion import DEFAULT_EXACT_LIMIT, edge_expansion
 from repro.spectral.laplacian import algebraic_connectivity, normalized_laplacian_second_eigenvalue
 from repro.spectral.stretch import stretch_against_ghost
 from repro.util.graphutils import max_degree, min_degree
@@ -42,7 +42,7 @@ class GraphMetrics:
 def snapshot_metrics(
     graph: nx.Graph,
     ghost: nx.Graph | None = None,
-    exact_limit: int = 18,
+    exact_limit: int = DEFAULT_EXACT_LIMIT,
     stretch_sample_pairs: int | None = 200,
     seed: int = 0,
 ) -> GraphMetrics:
@@ -50,6 +50,11 @@ def snapshot_metrics(
 
     When ``ghost`` is provided and both graphs share at least two nodes,
     stretch statistics against the ghost graph are included.
+
+    This is the stand-alone, uncached path.  Loops that snapshot the same
+    graph repeatedly should go through
+    :meth:`repro.perf.engine.MetricsEngine.snapshot`, which memoises every
+    constituent kernel on the graph's version counter.
     """
     n = graph.number_of_nodes()
     if n < 2:

@@ -38,8 +38,12 @@ def neighbors_of(graph: nx.Graph, node: NodeId) -> list[NodeId]:
 
 
 def induced_degree(graph: nx.Graph, node: NodeId, subset: Iterable[NodeId]) -> int:
-    """Return the number of neighbours of ``node`` inside ``subset``."""
-    members = set(subset)
+    """Return the number of neighbours of ``node`` inside ``subset``.
+
+    A set/frozenset ``subset`` is used as-is so per-step callers can pass a
+    precomputed membership set without paying a rebuild per call.
+    """
+    members = subset if isinstance(subset, (set, frozenset)) else set(subset)
     return sum(1 for neighbor in graph.neighbors(node) if neighbor in members)
 
 

@@ -1,0 +1,48 @@
+"""Perf smoke test: a representative snapshot-heavy run must stay fast.
+
+Gross performance regressions in the metrics pipeline (accidentally dropping
+back to all-pairs stretch, dense O(n^3) spectra on large graphs, per-subset
+Python cut scans, cache misses on unchanged graphs) blow straight through the
+generous wall-clock budget asserted here, so they fail tier-1 instead of
+silently rotting.  The budget is deliberately loose (~10x the measured cost on
+a warm developer machine) to stay robust on slow CI hardware.
+"""
+
+from __future__ import annotations
+
+import time
+
+import networkx as nx
+import pytest
+
+from repro.adversary import RandomAdversary
+from repro.core.xheal import Xheal
+from repro.harness.experiment import ExperimentConfig, run_experiment
+
+#: Measured ~6s on the reference container; anything past this is a gross regression.
+WALL_CLOCK_BUDGET_SECONDS = 90.0
+
+
+@pytest.mark.slow
+def test_256_node_200_step_snapshot_loop_within_budget():
+    config = ExperimentConfig(
+        healer_factory=lambda: Xheal(kappa=4, seed=1),
+        adversary_factory=lambda: RandomAdversary(seed=2, delete_probability=0.55),
+        initial_graph=nx.random_regular_graph(8, 256, seed=3),
+        timesteps=200,
+        metric_every=25,
+        check_invariants_every=25,
+        exact_expansion_limit=16,
+        stretch_sample_pairs=100,
+        seed=0,
+    )
+    start = time.perf_counter()
+    result = run_experiment(config)
+    elapsed = time.perf_counter() - start
+    assert result.timesteps_executed == 200
+    assert result.timeline.entries, "intermediate snapshots should have been recorded"
+    assert result.cache_stats["hits"] > 0, "the metrics cache should be doing work"
+    assert elapsed < WALL_CLOCK_BUDGET_SECONDS, (
+        f"200-step/256-node snapshot loop took {elapsed:.1f}s "
+        f"(budget {WALL_CLOCK_BUDGET_SECONDS:.0f}s) — metrics pipeline regression"
+    )
