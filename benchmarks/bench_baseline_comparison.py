@@ -7,57 +7,40 @@ expansion and spectral gap; naive healers sacrifice one side or the other
 degrees but destroys expansion and stretch).
 
 Measured here: every healer replays the *same* adversarial deletion trace on
-the same initial topology, and the final h, lambda, max stretch, max degree
-ratio and connectivity are tabulated.
+the same initial topology (via :func:`compare_healers`, which shares the
+full-ghost metrics cache across all six runs), and the final h, lambda, max
+stretch, max degree ratio and connectivity are tabulated.
 """
 
 from __future__ import annotations
 
-from repro.adversary import MaxDegreeAdversary
-from repro.baselines import (
-    CliqueHeal,
-    ForgivingGraphHeal,
-    ForgivingTreeHeal,
-    LineHeal,
-    NoHeal,
-)
-from repro.core.xheal import Xheal
-from repro.harness.experiment import ExperimentConfig, run_experiment, run_healer_on_trace
 from repro.harness.reporting import print_comparison
-from repro.harness.workloads import power_law_workload
+from repro.harness.sweeps import compare_healers, healer_factory
+from repro.scenarios import ScenarioSpec
 
-HEALERS = [
-    lambda: Xheal(kappa=4, seed=1),
-    lambda: ForgivingTreeHeal(seed=1),
-    lambda: ForgivingGraphHeal(seed=1),
-    lambda: LineHeal(seed=1),
-    lambda: CliqueHeal(seed=1),
-    lambda: NoHeal(seed=1),
-]
+SPEC = ScenarioSpec(
+    name="e10-baseline-comparison",
+    healer="xheal",
+    healer_kwargs={"kappa": 4, "seed": 1},
+    adversary="max-degree",
+    adversary_kwargs={"seed": 9},
+    topology="power-law",
+    topology_kwargs={"n": 70, "m": 2, "seed": 5},
+    timesteps=25,
+    kappa=4,
+    exact_expansion_limit=0,
+    stretch_sample_pairs=150,
+)
+
+CHALLENGERS = ("forgiving-tree", "forgiving-graph", "line-heal", "clique-heal", "no-heal")
 
 
 def comparison_results():
-    initial = power_law_workload(70, 2, seed=5)
-    reference = run_experiment(
-        ExperimentConfig(
-            healer_factory=lambda: Xheal(kappa=4, seed=1),
-            adversary_factory=lambda: MaxDegreeAdversary(seed=9),
-            initial_graph=initial,
-            timesteps=25,
-            kappa=4,
-            exact_expansion_limit=0,
-            stretch_sample_pairs=150,
-        )
-    )
-    results = [reference]
-    for factory in HEALERS[1:]:
-        results.append(
-            run_healer_on_trace(
-                factory(), initial, reference.trace, kappa=4,
-                exact_expansion_limit=0, stretch_sample_pairs=150,
-            )
-        )
-    return results
+    config = SPEC.compile()
+    factories = [config.healer_factory] + [
+        healer_factory(name, seed=1) for name in CHALLENGERS
+    ]
+    return compare_healers(config, factories)
 
 
 def test_baseline_comparison(run_once):
@@ -86,3 +69,11 @@ def test_baseline_comparison(run_once):
     assert clique.worst_degree_ratio > xheal.worst_degree_ratio
     # No healing loses connectivity under a hub attack.
     assert not by_name["no-heal"].connected
+    # All runs replayed the same trace, so the Theorem-2 reference (full-ghost)
+    # metrics are identical — and computed once thanks to the shared cache.
+    ghost_rows = {
+        (result.ghost_metrics.nodes, result.ghost_metrics.edges,
+         result.ghost_metrics.edge_expansion)
+        for result in results
+    }
+    assert len(ghost_rows) == 1

@@ -7,47 +7,64 @@ cost of a proportionally larger degree increase and message volume.
 
 Measured here: final expansion, degree ratio and healing edge volume of Xheal
 with kappa in {2, 4, 8} (and the always-merge ablation at kappa=4) on the same
-workload and adversary.
+workload and adversary.  The grid is expressed as a list of
+:class:`ScenarioSpec` points executed by :func:`run_scenarios` — the same
+records ``python -m repro sweep`` prints.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-
-from repro.adversary import DeletionOnlyAdversary
-from repro.core.ablations import XhealAlwaysMerge
-from repro.core.xheal import Xheal
-from repro.harness.experiment import ExperimentConfig, run_experiment
 from repro.harness.reporting import print_table
-from repro.harness.sweeps import sweep_parameter
-from repro.harness.workloads import random_regular_workload
+from repro.scenarios import ScenarioSpec, run_scenarios
+
+BASE = ScenarioSpec(
+    name="kappa-ablation",
+    healer="xheal",
+    healer_kwargs={"kappa": 4, "seed": 1},
+    adversary="deletion-only",
+    adversary_kwargs={"seed": 2},
+    topology="random-regular",
+    topology_kwargs={"n": 50, "degree": 4, "seed": 3},
+    timesteps=20,
+    kappa=4,
+    exact_expansion_limit=0,
+    stretch_sample_pairs=100,
+)
+
+
+def ablation_specs() -> list[tuple[str, object, ScenarioSpec]]:
+    """Return (sweep label, parameter, spec): the kappa grid plus the merge ablation."""
+    points: list[tuple[str, object, ScenarioSpec]] = []
+    for kappa in (2, 4, 8):
+        points.append(
+            (
+                "kappa",
+                kappa,
+                BASE.with_overrides(
+                    name=f"kappa-ablation[kappa={kappa}]",
+                    healer_kwargs={"kappa": kappa, "seed": 1},
+                    kappa=kappa,
+                ),
+            )
+        )
+    points.append(
+        (
+            "ablation",
+            "always-merge",
+            BASE.with_overrides(name="kappa-ablation[always-merge]", healer="xheal-always-merge"),
+        )
+    )
+    return points
 
 
 def kappa_ablation_rows():
-    base = ExperimentConfig(
-        healer_factory=lambda: Xheal(kappa=4, seed=1),
-        adversary_factory=lambda: DeletionOnlyAdversary(seed=2),
-        initial_graph=random_regular_workload(50, 4, seed=3),
-        timesteps=20,
-        kappa=4,
-        exact_expansion_limit=0,
-        stretch_sample_pairs=100,
-    )
-    sweep = sweep_parameter(
-        base,
-        label="kappa",
-        values=[2, 4, 8],
-        configure=lambda config, kappa: replace(
-            config, healer_factory=lambda: Xheal(kappa=kappa, seed=1), kappa=kappa
-        ),
-    )
-    rows = [point.row() for point in sweep]
-    merge_result = run_experiment(
-        replace(base, healer_factory=lambda: XhealAlwaysMerge(kappa=4, seed=1))
-    )
-    merge_row = {"sweep": "ablation", "parameter": "always-merge"}
-    merge_row.update(merge_result.summary_row())
-    rows.append(merge_row)
+    points = ablation_specs()
+    records = run_scenarios([spec for _, _, spec in points])
+    rows = []
+    for (sweep, parameter, _), record in zip(points, records):
+        row = {"sweep": sweep, "parameter": parameter}
+        row.update(record.summary)
+        rows.append(row)
     return rows
 
 

@@ -6,6 +6,11 @@ example replays the *same* hub-attack trace against Xheal, Forgiving Tree,
 Forgiving Graph and cycle healing on a power-law (preferential-attachment)
 overlay, then tabulates all four Theorem 2 quantities side by side.
 
+The comparison runs through :func:`repro.harness.sweeps.compare_healers`,
+which also shares the full-ghost metrics cache across the four runs — the
+ghost graph is identical for every healer on a fixed trace, so its reference
+metrics are computed exactly once.
+
 Run with::
 
     python examples/p2p_churn.py
@@ -13,43 +18,37 @@ Run with::
 
 from __future__ import annotations
 
-from repro.adversary import MaxDegreeAdversary
-from repro.baselines import ForgivingGraphHeal, ForgivingTreeHeal, LineHeal
-from repro.core.xheal import Xheal
-from repro.harness.experiment import ExperimentConfig, run_experiment, run_healer_on_trace
 from repro.harness.reporting import print_comparison
-from repro.harness.workloads import power_law_workload
+from repro.harness.sweeps import compare_healers, healer_factory
+from repro.scenarios import ScenarioSpec
+
+SPEC = ScenarioSpec(
+    name="p2p-hub-attack-comparison",
+    healer="xheal",
+    healer_kwargs={"kappa": 4, "seed": 5},
+    adversary="max-degree",
+    adversary_kwargs={"seed": 2},
+    topology="power-law",
+    topology_kwargs={"n": 80, "m": 2, "seed": 11},
+    timesteps=30,
+    kappa=4,
+    exact_expansion_limit=0,
+    stretch_sample_pairs=200,
+)
+
+CHALLENGERS = ("forgiving-tree", "forgiving-graph", "line-heal")
 
 
 def main() -> None:
-    initial = power_law_workload(80, 2, seed=11)
     print("P2P overlay: 80-node preferential-attachment graph, 30-step hub attack")
     print("(the adversary always removes the current highest-degree peer)")
     print()
 
-    reference = run_experiment(
-        ExperimentConfig(
-            healer_factory=lambda: Xheal(kappa=4, seed=5),
-            adversary_factory=lambda: MaxDegreeAdversary(seed=2),
-            initial_graph=initial,
-            timesteps=30,
-            kappa=4,
-            exact_expansion_limit=0,
-            stretch_sample_pairs=200,
-        )
-    )
-    results = [reference]
-    for factory in (
-        lambda: ForgivingTreeHeal(seed=5),
-        lambda: ForgivingGraphHeal(seed=5),
-        lambda: LineHeal(seed=5),
-    ):
-        results.append(
-            run_healer_on_trace(
-                factory(), initial, reference.trace, kappa=4,
-                exact_expansion_limit=0, stretch_sample_pairs=200,
-            )
-        )
+    config = SPEC.compile()
+    factories = [config.healer_factory] + [
+        healer_factory(name, seed=5) for name in CHALLENGERS
+    ]
+    results = compare_healers(config, factories)
 
     print_comparison(results, title="Same hub-attack trace, four healers")
     print()

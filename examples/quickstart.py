@@ -4,33 +4,42 @@ Run with::
 
     python examples/quickstart.py
 
-The script builds a small random-regular overlay, subjects it to 60 timesteps
-of adversarial churn (random insertions and deletions), heals it with Xheal,
-and prints the Theorem 2 quantities of the final network next to the
-insertions-only ghost graph.
+The script declares the whole experiment as a :class:`ScenarioSpec` — healer,
+adversary and initial topology by registry name — runs it, and prints the
+Theorem 2 quantities of the final network next to the insertions-only ghost
+graph.  The identical experiment is reachable from a shell::
+
+    python -m repro run examples/specs/quickstart.json
+
+(any spec can be serialized with ``spec.to_json()`` and replayed later).
 """
 
 from __future__ import annotations
 
-from repro.adversary import RandomAdversary
-from repro.core.xheal import Xheal
-from repro.harness.experiment import ExperimentConfig, run_experiment
 from repro.harness.reporting import print_table
-from repro.harness.workloads import random_regular_workload
+from repro.scenarios import ScenarioSpec
+
+
+SPEC = ScenarioSpec(
+    name="quickstart-churn",
+    healer="xheal",
+    healer_kwargs={"kappa": 4, "seed": 1},
+    adversary="random",
+    adversary_kwargs={"seed": 7, "delete_probability": 0.6},
+    topology="random-regular",
+    topology_kwargs={"n": 60, "degree": 4, "seed": 3},
+    timesteps=60,
+    kappa=4,
+    metric_every=20,
+    exact_expansion_limit=0,
+    stretch_sample_pairs=200,
+)
 
 
 def main() -> None:
-    config = ExperimentConfig(
-        healer_factory=lambda: Xheal(kappa=4, seed=1),
-        adversary_factory=lambda: RandomAdversary(seed=7, delete_probability=0.6),
-        initial_graph=random_regular_workload(60, 4, seed=3),
-        timesteps=60,
-        kappa=4,
-        metric_every=20,
-        exact_expansion_limit=0,
-        stretch_sample_pairs=200,
-    )
-    result = run_experiment(config)
+    from repro.harness.experiment import run_experiment
+
+    result = run_experiment(SPEC.compile())
 
     print("Xheal quickstart — random 4-regular overlay, 60 steps of churn")
     print(f"  events executed : {result.timesteps_executed} "
@@ -56,6 +65,9 @@ def main() -> None:
     print(f"Amortized repair cost: {result.cost_summary.amortized_messages:.1f} messages/deletion "
           f"(Lemma 5 lower bound {result.cost_summary.lower_bound:.1f}, "
           f"Theorem 5 bound {result.cost_summary.upper_bound:.1f})")
+    print()
+    print("The same experiment as declarative JSON (python -m repro run <file>):")
+    print(SPEC.to_json())
 
 
 if __name__ == "__main__":

@@ -1,4 +1,20 @@
-"""Setup shim for environments without the `wheel` package (offline installs)."""
-from setuptools import setup
+"""Packaging for the Xheal reproduction (kept `wheel`-free for offline installs)."""
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-xheal",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Xheal: Localized Self-healing using Expanders' "
+        "(Pandurangan & Trehan, PODC 2011) with a declarative scenario API"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["networkx", "numpy", "scipy"],
+    entry_points={
+        "console_scripts": [
+            "repro=repro.scenarios.cli:main",
+        ],
+    },
+)

@@ -19,22 +19,35 @@ The library provides:
   amortised message accounting.
 * :mod:`repro.harness` — workload generators, the experiment runner and the
   report printers behind ``benchmarks/``.
+* :mod:`repro.scenarios` — the declarative front door: plugin registries of
+  healers/adversaries/topologies, serializable :class:`ScenarioSpec` /
+  :class:`SweepSpec` documents, a parallel sweep runner, replayable JSONL run
+  artifacts and the ``python -m repro`` CLI.
 
-Quickstart::
+Quickstart (declarative — every component by registry name)::
 
-    import networkx as nx
-    from repro import Xheal, GhostGraph
-    from repro.adversary import RandomAdversary
-    from repro.harness import run_experiment, ExperimentConfig
+    from repro.scenarios import ScenarioSpec
 
-    graph = nx.random_regular_graph(4, 50, seed=1)
-    result = run_experiment(ExperimentConfig(
-        healer_factory=lambda: Xheal(kappa=4),
-        adversary_factory=lambda: RandomAdversary(seed=7),
-        initial_graph=graph,
-        timesteps=100,
-    ))
-    print(result.final_metrics)
+    spec = ScenarioSpec(
+        healer="xheal", healer_kwargs={"kappa": 4},
+        adversary="random", adversary_kwargs={"delete_probability": 0.6},
+        topology="random-regular", topology_kwargs={"n": 50, "degree": 4},
+        timesteps=100, seed=7,
+    )
+    record = spec.run()                 # RunRecord: summary, timeline, trace
+    print(record.summary)
+    print(spec.to_json())               # serializable; `python -m repro run`
+
+    from repro.scenarios import SweepSpec, run_scenarios
+    grid = SweepSpec(base=spec, axes={"healer_kwargs.kappa": [2, 4, 8]})
+    records = run_scenarios(grid.expand(), workers=4)
+
+The imperative layer underneath is still public — ``spec.compile()`` returns
+the :class:`~repro.harness.experiment.ExperimentConfig` that
+:func:`~repro.harness.experiment.run_experiment` consumes, so factory-based
+wiring keeps working unchanged.  Discover names with ``python -m repro list``
+or :func:`repro.scenarios.list_healers` / ``list_adversaries`` /
+``list_topologies``.
 """
 
 from repro.core import (
@@ -46,7 +59,7 @@ from repro.core import (
     XhealConfig,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GhostGraph",

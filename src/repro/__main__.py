@@ -1,0 +1,8 @@
+"""``python -m repro`` — the scenario CLI (see :mod:`repro.scenarios.cli`)."""
+
+import sys
+
+from repro.scenarios.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@ from typing import Iterable, Sequence
 import networkx as nx
 
 from repro.adversary.base import Adversary, AdversaryEvent, EventType
+from repro.scenarios.registry import register_adversary
 from repro.util.ids import NodeId
 from repro.util.validation import require, require_probability
 
@@ -15,6 +16,7 @@ from repro.util.validation import require, require_probability
 DEFAULT_MIN_NODES = 4
 
 
+@register_adversary("random", aliases=("churn",))
 class RandomAdversary(Adversary):
     """Churn: with probability ``delete_probability`` delete a random node, else insert one."""
 
@@ -41,6 +43,7 @@ class RandomAdversary(Adversary):
         return self._random_insertion(graph, self.max_attachments)
 
 
+@register_adversary("deletion-only")
 class DeletionOnlyAdversary(Adversary):
     """Delete a uniformly random node every timestep (no insertions)."""
 
@@ -57,6 +60,7 @@ class DeletionOnlyAdversary(Adversary):
         return AdversaryEvent(EventType.DELETE, self._rng.choice(deletable))
 
 
+@register_adversary("insertion-only")
 class InsertionOnlyAdversary(Adversary):
     """Insert a node with random attachments every timestep (no deletions)."""
 
@@ -71,6 +75,7 @@ class InsertionOnlyAdversary(Adversary):
         return self._random_insertion(graph, self.max_attachments)
 
 
+@register_adversary("max-degree", aliases=("hub-attack",))
 class MaxDegreeAdversary(Adversary):
     """Always delete the highest-degree node (hub attack).
 
@@ -94,6 +99,7 @@ class MaxDegreeAdversary(Adversary):
         return AdversaryEvent(EventType.DELETE, target)
 
 
+@register_adversary("min-degree")
 class MinDegreeAdversary(Adversary):
     """Always delete the lowest-degree node (periphery attack)."""
 
@@ -111,6 +117,7 @@ class MinDegreeAdversary(Adversary):
         return AdversaryEvent(EventType.DELETE, target)
 
 
+@register_adversary("star-center")
 class StarCenterAdversary(Adversary):
     """Delete the node whose removal creates the largest "orphaned" neighbourhood.
 
@@ -140,6 +147,7 @@ class StarCenterAdversary(Adversary):
         return AdversaryEvent(EventType.DELETE, target)
 
 
+@register_adversary("cascade")
 class CascadeAdversary(Adversary):
     """Delete a neighbour of the previously deleted node (a spreading failure).
 

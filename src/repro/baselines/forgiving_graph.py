@@ -21,6 +21,7 @@ from __future__ import annotations
 from repro.core.colors import EdgeColor
 from repro.core.events import RepairAction, RepairReport
 from repro.core.healer import SelfHealer
+from repro.scenarios.registry import register_healer
 from repro.util.ids import NodeId
 
 
@@ -51,6 +52,7 @@ def half_full_tree_edges(leaves: list[NodeId]) -> list[tuple[NodeId, NodeId]]:
     return edges
 
 
+@register_healer("forgiving-graph")
 class ForgivingGraphHeal(SelfHealer):
     """Replace the deleted node by a half-full tree of its neighbours."""
 

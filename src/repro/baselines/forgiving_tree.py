@@ -23,6 +23,7 @@ from __future__ import annotations
 from repro.core.colors import EdgeColor
 from repro.core.events import RepairAction, RepairReport
 from repro.core.healer import SelfHealer
+from repro.scenarios.registry import register_healer
 from repro.util.ids import NodeId
 
 
@@ -41,6 +42,7 @@ def balanced_tree_edges(nodes: list[NodeId]) -> list[tuple[NodeId, NodeId]]:
     return edges
 
 
+@register_healer("forgiving-tree")
 class ForgivingTreeHeal(SelfHealer):
     """Replace the deleted node by a balanced binary tree of its neighbours."""
 

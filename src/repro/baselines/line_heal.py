@@ -13,9 +13,11 @@ from __future__ import annotations
 from repro.core.colors import EdgeColor
 from repro.core.events import RepairAction, RepairReport
 from repro.core.healer import SelfHealer
+from repro.scenarios.registry import register_healer
 from repro.util.ids import NodeId
 
 
+@register_healer("line-heal", aliases=("cycle-heal",))
 class LineHeal(SelfHealer):
     """Reconnect the deleted node's neighbours in a cycle."""
 

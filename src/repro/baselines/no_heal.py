@@ -9,9 +9,11 @@ from __future__ import annotations
 from repro.core.colors import EdgeColor
 from repro.core.events import RepairAction, RepairReport
 from repro.core.healer import SelfHealer
+from repro.scenarios.registry import register_healer
 from repro.util.ids import NodeId
 
 
+@register_healer("no-heal")
 class NoHeal(SelfHealer):
     """A healer that never heals."""
 

@@ -12,10 +12,12 @@ from __future__ import annotations
 from repro.core.colors import EdgeColor
 from repro.core.events import RepairAction, RepairReport
 from repro.core.healer import SelfHealer
+from repro.scenarios.registry import register_healer
 from repro.util.ids import NodeId
 from repro.util.validation import require
 
 
+@register_healer("random-k-heal")
 class RandomKHeal(SelfHealer):
     """Connect each surviving neighbour to ``k`` random other neighbours."""
 

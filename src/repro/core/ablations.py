@@ -18,10 +18,12 @@ from __future__ import annotations
 from repro.core.clouds import Cloud
 from repro.core.events import RepairReport
 from repro.core.xheal import Xheal
+from repro.scenarios.registry import register_healer
 from repro.expanders.construction import build_clique_edges
 from repro.util.ids import NodeId
 
 
+@register_healer("xheal-always-merge")
 class XhealAlwaysMerge(Xheal):
     """Xheal without secondary clouds: every multi-cloud repair merges the clouds.
 
@@ -41,6 +43,7 @@ class XhealAlwaysMerge(Xheal):
         return None
 
 
+@register_healer("xheal-clique-clouds")
 class XhealCliqueClouds(Xheal):
     """Xheal with clique clouds instead of kappa-regular expander clouds.
 

@@ -53,6 +53,7 @@ from repro.core.clouds import Cloud, CloudKind, CloudRegistry
 from repro.core.colors import BLACK, EdgeColor
 from repro.core.events import RepairAction, RepairReport
 from repro.core.healer import SelfHealer
+from repro.scenarios.registry import register_healer
 from repro.expanders.construction import expander_or_clique
 from repro.util.eventlog import EventKind
 from repro.util.ids import NodeId
@@ -80,6 +81,7 @@ class XhealConfig:
         require(self.kappa >= 2, f"kappa must be at least 2, got {self.kappa}")
 
 
+@register_healer("xheal")
 class Xheal(SelfHealer):
     """The paper's self-healing algorithm."""
 

@@ -36,10 +36,12 @@ from repro.core.xheal import Xheal, XhealConfig
 from repro.distributed.messages import Message, MessageKind
 from repro.distributed.network import RepairStats, SynchronousNetwork
 from repro.expanders.construction import build_clique_edges, hamilton_cycle_count
+from repro.scenarios.registry import register_healer
 from repro.expanders.hgraph import HGraph
 from repro.util.ids import NodeId
 
 
+@register_healer("distributed-xheal")
 class DistributedXheal(Xheal):
     """Xheal with an explicit LOCAL-model protocol simulation and real cost accounting."""
 

@@ -24,7 +24,7 @@ from repro.harness.experiment import (
     run_experiment,
     run_healer_on_trace,
 )
-from repro.harness.sweeps import SweepResult, sweep_healers, sweep_parameter
+from repro.harness.sweeps import SweepResult, compare_healers, sweep_healers, sweep_parameter
 from repro.harness.reporting import format_table, print_comparison, print_table
 
 __all__ = [
@@ -42,6 +42,7 @@ __all__ = [
     "run_experiment",
     "run_healer_on_trace",
     "SweepResult",
+    "compare_healers",
     "sweep_healers",
     "sweep_parameter",
     "format_table",

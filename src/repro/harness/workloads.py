@@ -9,13 +9,13 @@ degree expanders).  Each generator returns a connected simple
 
 from __future__ import annotations
 
-from typing import Callable
-
 import networkx as nx
 
+from repro.scenarios.registry import TOPOLOGIES, register_topology
 from repro.util.validation import require
 
 
+@register_topology("star")
 def star_workload(n: int) -> nx.Graph:
     """A star on ``n`` nodes (centre = node 0).
 
@@ -27,6 +27,7 @@ def star_workload(n: int) -> nx.Graph:
     return nx.star_graph(n - 1)
 
 
+@register_topology("random-regular")
 def random_regular_workload(n: int, degree: int = 4, seed: int = 0) -> nx.Graph:
     """A random ``degree``-regular graph — the canonical bounded-degree expander."""
     require(n > degree, "n must exceed the degree")
@@ -41,6 +42,7 @@ def random_regular_workload(n: int, degree: int = 4, seed: int = 0) -> nx.Graph:
     return graph
 
 
+@register_topology("erdos-renyi")
 def erdos_renyi_workload(n: int, average_degree: float = 6.0, seed: int = 0) -> nx.Graph:
     """A connected Erdos-Renyi graph with the given expected average degree."""
     require(n >= 4, "need at least 4 nodes")
@@ -59,6 +61,7 @@ def erdos_renyi_workload(n: int, average_degree: float = 6.0, seed: int = 0) -> 
     return graph
 
 
+@register_topology("grid")
 def grid_workload(rows: int, cols: int | None = None) -> nx.Graph:
     """A 2D grid graph relabelled to integer ids (wireless-mesh-like topology)."""
     require(rows >= 2, "grid needs at least 2 rows")
@@ -69,18 +72,21 @@ def grid_workload(rows: int, cols: int | None = None) -> nx.Graph:
     return nx.convert_node_labels_to_integers(grid, ordering="sorted")
 
 
+@register_topology("ring")
 def ring_workload(n: int) -> nx.Graph:
     """A cycle on ``n`` nodes (minimum-degree connected topology)."""
     require(n >= 3, "ring needs at least 3 nodes")
     return nx.cycle_graph(n)
 
 
+@register_topology("power-law")
 def power_law_workload(n: int, m: int = 2, seed: int = 0) -> nx.Graph:
     """A Barabasi-Albert preferential-attachment graph (P2P-overlay-like hubs)."""
     require(n > m >= 1, "need n > m >= 1")
     return nx.barabasi_albert_graph(n, m, seed=seed)
 
 
+@register_topology("two-cliques")
 def two_cliques_workload(n: int, expander_degree: int = 4, seed: int = 0) -> nx.Graph:
     """A constant-degree expander with a clique added on each half of its nodes.
 
@@ -100,18 +106,18 @@ def two_cliques_workload(n: int, expander_degree: int = 4, seed: int = 0) -> nx.
     return graph
 
 
-WORKLOADS: dict[str, Callable[..., nx.Graph]] = {
-    "star": star_workload,
-    "random-regular": random_regular_workload,
-    "erdos-renyi": erdos_renyi_workload,
-    "grid": grid_workload,
-    "ring": ring_workload,
-    "power-law": power_law_workload,
-    "two-cliques": two_cliques_workload,
-}
+#: Read-only live view of the topology registry — the single source of truth
+#: for workload names.  Generators register themselves with
+#: :func:`repro.scenarios.registry.register_topology` above; scenario specs,
+#: ``python -m repro list`` and :func:`workload_by_name` all consult the same
+#: table.
+WORKLOADS = TOPOLOGIES.as_mapping()
 
 
 def workload_by_name(name: str, **kwargs) -> nx.Graph:
-    """Instantiate a workload by its registry name."""
-    require(name in WORKLOADS, f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}")
-    return WORKLOADS[name](**kwargs)
+    """Instantiate a workload by its registry name.
+
+    Unknown names raise a :class:`~repro.scenarios.registry.UnknownNameError`
+    listing every registered workload and suggesting the nearest match.
+    """
+    return TOPOLOGIES.get(name)(**kwargs)

@@ -1,0 +1,91 @@
+"""Declarative scenario API: registries, serializable specs, sweeps and runs.
+
+This package is the canonical front door for defining and running
+experiments.  Instead of hand-wiring factories and graphs::
+
+    from repro.scenarios import ScenarioSpec
+
+    spec = ScenarioSpec(
+        healer="xheal", healer_kwargs={"kappa": 4},
+        adversary="random", adversary_kwargs={"delete_probability": 0.6},
+        topology="random-regular", topology_kwargs={"n": 60, "degree": 4},
+        timesteps=60,
+    )
+    record = spec.run()          # -> RunRecord (summary, timeline, trace)
+    spec.to_json()               # exact JSON round-trip
+    save_run(record, "run.jsonl")
+    ScenarioSpec.replay("run.jsonl")   # bit-identical re-execution
+
+Sweeps cross-product parameter axes and run points in parallel::
+
+    from repro.scenarios import SweepSpec, run_scenarios
+
+    sweep = SweepSpec(base=spec, axes={"healer_kwargs.kappa": [2, 4, 8],
+                                       "timesteps": [50, 100]})
+    records = run_scenarios(sweep.expand(), workers=4)
+
+The same operations are available from a shell via ``python -m repro``
+(``run`` / ``sweep`` / ``list`` / ``replay``).
+
+The registry layer (:mod:`repro.scenarios.registry`) is imported eagerly —
+it is dependency-free, so component modules can register themselves without
+import cycles.  Everything else loads lazily on first attribute access.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.registry import (
+    ADVERSARIES,
+    HEALERS,
+    TOPOLOGIES,
+    Registry,
+    UnknownNameError,
+    list_adversaries,
+    list_healers,
+    list_topologies,
+    register_adversary,
+    register_healer,
+    register_topology,
+)
+
+__all__ = [
+    "ADVERSARIES",
+    "HEALERS",
+    "TOPOLOGIES",
+    "Registry",
+    "UnknownNameError",
+    "list_adversaries",
+    "list_healers",
+    "list_topologies",
+    "register_adversary",
+    "register_healer",
+    "register_topology",
+    # lazily loaded (see __getattr__):
+    "ScenarioSpec",
+    "SweepSpec",
+    "RunRecord",
+    "run_scenarios",
+    "save_run",
+    "load_run",
+    "replay_artifact",
+]
+
+_LAZY = {
+    "ScenarioSpec": "repro.scenarios.spec",
+    "SweepSpec": "repro.scenarios.sweep",
+    "RunRecord": "repro.scenarios.runner",
+    "run_scenarios": "repro.scenarios.runner",
+    "save_run": "repro.scenarios.artifacts",
+    "load_run": "repro.scenarios.artifacts",
+    "replay_artifact": "repro.scenarios.artifacts",
+}
+
+
+def __getattr__(name: str):
+    """Load the heavier scenario modules on demand (breaks import cycles)."""
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)

@@ -1,0 +1,144 @@
+"""Persisted run artifacts: JSONL save/load and bit-identical replay.
+
+An artifact is one JSONL file describing one run completely::
+
+    {"kind": "spec",        "data": {...ScenarioSpec...}}
+    {"kind": "summary",     "data": {...summary_row()...}}
+    {"kind": "timeline",    "data": {...one timeline row...}}   (0+ lines)
+    {"kind": "event",       "data": {...one trace event...}}    (0+ lines)
+    {"kind": "cache_stats", "data": {...engine counters...}}
+
+The spec says *how* the run was produced; the event lines say *what* the
+adversary did.  Replay therefore does not need the adversary at all: it
+rebuilds the healer and the initial topology from the spec and pushes the
+recorded trace through
+:func:`~repro.harness.experiment.run_healer_on_trace`, which reproduces the
+original ``summary_row()`` exactly (same metric fidelity, same engine seed;
+on the dense spectral path, n <= sparse_threshold, the computation is
+bitwise deterministic).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.harness.experiment import ExperimentResult, run_healer_on_trace
+from repro.scenarios.registry import HEALERS
+from repro.scenarios.runner import RunRecord, event_from_dict
+from repro.scenarios.spec import ScenarioSpec
+from repro.util.validation import require
+
+
+def save_run(record: RunRecord, path: str | Path) -> Path:
+    """Write ``record`` to ``path`` as a JSONL artifact; return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines: list[str] = []
+
+    def add(kind: str, data) -> None:
+        lines.append(json.dumps({"kind": kind, "data": data}, sort_keys=True))
+
+    add("spec", record.spec.to_dict())
+    add("summary", record.summary)
+    for row in record.timeline:
+        add("timeline", row)
+    for event in record.trace:
+        add("event", event)
+    add("cache_stats", record.cache_stats)
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def load_run(path: str | Path) -> RunRecord:
+    """Read a JSONL artifact back into a :class:`RunRecord`."""
+    path = Path(path)
+    spec_data = None
+    summary = None
+    timeline: list[dict] = []
+    trace: list[dict] = []
+    cache_stats: dict = {}
+    for line_number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}:{line_number}: not valid JSONL ({error})") from None
+        kind, data = entry.get("kind"), entry.get("data")
+        if kind == "spec":
+            spec_data = data
+        elif kind == "summary":
+            summary = data
+        elif kind == "timeline":
+            timeline.append(data)
+        elif kind == "event":
+            trace.append(data)
+        elif kind == "cache_stats":
+            cache_stats = data
+        else:
+            raise ValueError(f"{path}:{line_number}: unknown artifact line kind {kind!r}")
+    require(spec_data is not None, f"artifact {path} has no 'spec' line")
+    require(summary is not None, f"artifact {path} has no 'summary' line")
+    return RunRecord(
+        spec=ScenarioSpec.from_dict(spec_data),
+        summary=summary,
+        timeline=timeline,
+        trace=trace,
+        cache_stats=cache_stats,
+    )
+
+
+def artifact_name(index: int, label: str) -> str:
+    """Return a filesystem-safe artifact filename for one sweep point."""
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "-", label).strip("-") or "run"
+    return f"{index:04d}-{slug}.jsonl"
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Outcome of replaying a persisted run artifact."""
+
+    record: RunRecord
+    result: ExperimentResult
+    replayed_summary: dict
+
+    @property
+    def identical(self) -> bool:
+        """Return whether the replayed summary matches the recorded one exactly."""
+        return self.replayed_summary == self.record.summary
+
+    def differences(self) -> dict:
+        """Return ``column -> (recorded, replayed)`` for every mismatch."""
+        keys = set(self.record.summary) | set(self.replayed_summary)
+        return {
+            key: (self.record.summary.get(key), self.replayed_summary.get(key))
+            for key in sorted(keys)
+            if self.record.summary.get(key) != self.replayed_summary.get(key)
+        }
+
+
+def replay_artifact(path: str | Path) -> ReplayReport:
+    """Re-execute the run persisted at ``path`` and compare summaries.
+
+    The healer and initial topology are rebuilt from the artifact's spec
+    (same derived seeds), and the recorded adversarial trace is replayed
+    through :func:`run_healer_on_trace` with the spec's metric fidelity and
+    engine seed — the exact inputs of the original run.
+    """
+    record = load_run(path)
+    spec = record.spec.validate()
+    healer = HEALERS.get(spec.healer)(**spec.component_kwargs("healer"))
+    result = run_healer_on_trace(
+        healer,
+        spec.build_initial_graph(),
+        record.events(),
+        kappa=spec.kappa,
+        exact_expansion_limit=spec.exact_expansion_limit,
+        stretch_sample_pairs=spec.stretch_sample_pairs,
+        seed=spec.seed,
+        adversary_name=str(record.summary.get("adversary", "trace")),
+    )
+    return ReplayReport(record=record, result=result, replayed_summary=dict(result.summary_row()))

@@ -1,0 +1,171 @@
+"""The ``repro`` command line: run, sweep, list and replay scenarios.
+
+Installed as the ``repro`` console script (see ``setup.py``) and runnable as
+``python -m repro``::
+
+    python -m repro list                       # registered components
+    python -m repro run spec.json              # one scenario -> summary table
+    python -m repro run spec.json --artifact run.jsonl
+    python -m repro sweep sweep.json --workers 4 --artifact-dir out/
+    python -m repro replay run.jsonl           # bit-identical re-execution
+
+Spec files are :meth:`~repro.scenarios.spec.ScenarioSpec.to_json` documents;
+sweep files are :meth:`~repro.scenarios.sweep.SweepSpec.to_json` documents
+(``{"base": {...}, "axes": {...}}``).  ``replay`` exits non-zero when the
+replayed summary deviates from the recorded one, so it doubles as an
+integrity check in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_list(args) -> int:
+    from repro.scenarios.registry import list_adversaries, list_healers, list_topologies
+
+    sections = {
+        "healers": list_healers,
+        "adversaries": list_adversaries,
+        "topologies": list_topologies,
+    }
+    wanted = sections if args.kind == "all" else {args.kind: sections[args.kind]}
+    for kind, lister in wanted.items():
+        print(f"{kind}:")
+        for name in lister():
+            print(f"  {name}")
+    return 0
+
+
+def _load_spec(path: str):
+    from repro.scenarios.spec import ScenarioSpec
+
+    return ScenarioSpec.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def _print_records(records, title: str) -> None:
+    from repro.harness.reporting import print_table
+
+    rows = []
+    for record in records:
+        row = {"scenario": record.spec.label}
+        row.update(record.summary)
+        rows.append(row)
+    print_table(rows, title=title)
+
+
+def _cmd_run(args) -> int:
+    from repro.scenarios.artifacts import save_run
+
+    spec = _load_spec(args.spec)
+    if args.timesteps is not None:
+        spec = spec.with_overrides(timesteps=args.timesteps)
+    record = spec.validate().run()
+    _print_records([record], title=f"run: {spec.label}")
+    if args.artifact:
+        path = save_run(record, args.artifact)
+        print(f"artifact written to {path}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.scenarios.artifacts import artifact_name, save_run
+    from repro.scenarios.runner import run_scenarios
+    from repro.scenarios.sweep import SweepSpec
+
+    sweep = SweepSpec.from_json(Path(args.sweep).read_text(encoding="utf-8"))
+    specs = sweep.expand()
+    print(f"sweep {sweep.label}: {len(specs)} points, workers={args.workers}")
+    records = run_scenarios(specs, workers=args.workers)
+    _print_records(records, title=f"sweep: {sweep.label}")
+    if args.artifact_dir:
+        directory = Path(args.artifact_dir)
+        for index, record in enumerate(records):
+            save_run(record, directory / artifact_name(index, record.spec.label))
+        print(f"{len(records)} artifacts written to {directory}/")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.scenarios.artifacts import replay_artifact
+
+    report = replay_artifact(args.artifact)
+    print(f"replaying {args.artifact} ({report.record.spec.label})")
+    from repro.harness.reporting import print_table
+
+    print_table(
+        [
+            {"source": "recorded", **report.record.summary},
+            {"source": "replayed", **report.replayed_summary},
+        ],
+        title="recorded vs replayed summary",
+    )
+    if report.identical:
+        print("replay identical: True")
+        return 0
+    print(f"replay identical: False; differences: {report.differences()}")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argument parser (exposed for the docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run Xheal self-healing scenarios from declarative JSON specs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser("list", help="list registered healers/adversaries/topologies")
+    list_parser.add_argument(
+        "--kind",
+        choices=["healers", "adversaries", "topologies", "all"],
+        default="all",
+        help="which registry to list (default: all)",
+    )
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = sub.add_parser("run", help="run one scenario spec")
+    run_parser.add_argument("spec", help="path to a ScenarioSpec JSON file")
+    run_parser.add_argument("--artifact", help="write a replayable JSONL artifact here")
+    run_parser.add_argument(
+        "--timesteps", type=int, default=None, help="override the spec's timesteps"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = sub.add_parser("sweep", help="expand and run a sweep spec")
+    sweep_parser.add_argument("sweep", help="path to a SweepSpec JSON file")
+    sweep_parser.add_argument(
+        "--workers", type=int, default=1, help="parallel worker processes (default: 1)"
+    )
+    sweep_parser.add_argument(
+        "--artifact-dir", help="write one replayable JSONL artifact per point here"
+    )
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    replay_parser = sub.add_parser(
+        "replay", help="re-execute a run artifact and verify the summary matches"
+    )
+    replay_parser.add_argument("artifact", help="path to a run artifact (JSONL)")
+    replay_parser.set_defaults(func=_cmd_replay)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    # ValueError covers ValidationError (bad specs/names), JSONDecodeError
+    # (malformed spec files) and corrupt-artifact errors; OSError covers
+    # missing/unreadable paths.  Anything else is a bug and should traceback.
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

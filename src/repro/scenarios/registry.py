@@ -1,0 +1,185 @@
+"""Decorator-based plugin registries for healers, adversaries and topologies.
+
+Every component a :class:`~repro.scenarios.spec.ScenarioSpec` can name lives
+in one of three registries:
+
+* :data:`HEALERS` — :class:`~repro.core.healer.SelfHealer` subclasses,
+  registered by :mod:`repro.core.xheal`, :mod:`repro.core.ablations`,
+  :mod:`repro.distributed.protocol` and every module in
+  :mod:`repro.baselines`.
+* :data:`ADVERSARIES` — :class:`~repro.adversary.base.Adversary` subclasses,
+  registered by :mod:`repro.adversary.strategies`.
+* :data:`TOPOLOGIES` — initial-graph generators, registered by
+  :mod:`repro.harness.workloads` (whose ``WORKLOADS`` mapping is a live view
+  of this registry — one name table, not two).
+
+Registration is a decorator::
+
+    @register_healer("xheal")
+    class Xheal(SelfHealer): ...
+
+Lookups go through :meth:`Registry.get`, which raises a
+:class:`UnknownNameError` (a :class:`~repro.util.validation.ValidationError`)
+whose message lists every registered name and suggests the nearest one on a
+typo.  The registries populate themselves on first lookup by importing the
+provider modules, so ``python -m repro list`` works without any prior import.
+"""
+
+from __future__ import annotations
+
+import difflib
+import importlib
+from types import MappingProxyType
+from typing import Callable, Iterable, Mapping, TypeVar
+
+from repro.util.validation import ValidationError
+
+T = TypeVar("T")
+
+#: Modules whose import populates the registries (the plugin entry points).
+PROVIDER_MODULES: tuple[str, ...] = (
+    "repro.core.xheal",
+    "repro.core.ablations",
+    "repro.baselines",
+    "repro.distributed.protocol",
+    "repro.adversary.strategies",
+    "repro.harness.workloads",
+)
+
+_populated = False
+
+
+def _ensure_populated() -> None:
+    """Import every provider module once so their decorators have run."""
+    global _populated
+    if _populated:
+        return
+    for module in PROVIDER_MODULES:
+        importlib.import_module(module)
+    # Only mark populated once every provider imported cleanly — a failed
+    # import must not leave later lookups running against a half-filled
+    # registry with no sign of the real error.
+    _populated = True
+
+
+class UnknownNameError(ValidationError):
+    """An unregistered name was looked up (message includes suggestions)."""
+
+
+class Registry:
+    """A ``name -> component`` table with aliases and typo suggestions."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: dict[str, object] = {}
+        self._aliases: dict[str, str] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, name: str, *, aliases: Iterable[str] = ()) -> Callable[[T], T]:
+        """Return a decorator registering its target under ``name``."""
+
+        def decorator(obj: T) -> T:
+            if name in self._entries and self._entries[name] is not obj:
+                raise ValidationError(
+                    f"{self.kind} name {name!r} is already registered "
+                    f"to {self._entries[name]!r}"
+                )
+            if name in self._aliases:
+                raise ValidationError(
+                    f"{self.kind} name {name!r} is already an alias "
+                    f"of {self._aliases[name]!r}"
+                )
+            self._entries[name] = obj
+            for alias in aliases:
+                if alias in self._entries:
+                    raise ValidationError(
+                        f"{self.kind} alias {alias!r} collides with a registered name"
+                    )
+                if self._aliases.get(alias, name) != name:
+                    raise ValidationError(
+                        f"{self.kind} alias {alias!r} is already an alias "
+                        f"of {self._aliases[alias]!r}"
+                    )
+                self._aliases[alias] = name
+            return obj
+
+        return decorator
+
+    # -- lookup ---------------------------------------------------------------
+
+    def canonical(self, name: str) -> str:
+        """Resolve aliases to the canonical registered name (identity otherwise)."""
+        return self._aliases.get(name, name)
+
+    def get(self, name: str):
+        """Return the component registered under ``name`` (or an alias of it).
+
+        Raises :class:`UnknownNameError` with the full list of registered
+        names and, when a close match exists, a "did you mean" suggestion.
+        """
+        _ensure_populated()
+        key = self.canonical(name)
+        entry = self._entries.get(key)
+        if entry is not None:
+            return entry
+        candidates = sorted(set(self._entries) | set(self._aliases))
+        close = difflib.get_close_matches(name, candidates, n=1)
+        hint = f"; did you mean {close[0]!r}?" if close else ""
+        raise UnknownNameError(
+            f"unknown {self.kind} {name!r}{hint} "
+            f"registered {self.kind} names: {sorted(self._entries)}"
+        )
+
+    def __contains__(self, name: str) -> bool:
+        _ensure_populated()
+        return self.canonical(name) in self._entries
+
+    def names(self) -> list[str]:
+        """Return the sorted canonical names (aliases excluded)."""
+        _ensure_populated()
+        return sorted(self._entries)
+
+    def items(self) -> list[tuple[str, object]]:
+        """Return ``(name, component)`` pairs sorted by name."""
+        _ensure_populated()
+        return sorted(self._entries.items())
+
+    def as_mapping(self) -> Mapping[str, object]:
+        """Return a read-only *live* view of the registry's name table."""
+        return MappingProxyType(self._entries)
+
+
+HEALERS = Registry("healer")
+ADVERSARIES = Registry("adversary")
+TOPOLOGIES = Registry("topology")
+
+
+def register_healer(name: str, *, aliases: Iterable[str] = ()):
+    """Class decorator adding a healer to the :data:`HEALERS` registry."""
+    return HEALERS.register(name, aliases=aliases)
+
+
+def register_adversary(name: str, *, aliases: Iterable[str] = ()):
+    """Class decorator adding an adversary to the :data:`ADVERSARIES` registry."""
+    return ADVERSARIES.register(name, aliases=aliases)
+
+
+def register_topology(name: str, *, aliases: Iterable[str] = ()):
+    """Decorator adding an initial-graph generator to :data:`TOPOLOGIES`."""
+    return TOPOLOGIES.register(name, aliases=aliases)
+
+
+def list_healers() -> list[str]:
+    """Return the names of every registered healer."""
+    return HEALERS.names()
+
+
+def list_adversaries() -> list[str]:
+    """Return the names of every registered adversary."""
+    return ADVERSARIES.names()
+
+
+def list_topologies() -> list[str]:
+    """Return the names of every registered topology generator."""
+    return TOPOLOGIES.names()

@@ -1,0 +1,170 @@
+"""Scenario execution: single runs, parallel sweeps, portable run records.
+
+:func:`run_scenarios` executes independent scenarios (typically a
+:meth:`~repro.scenarios.sweep.SweepSpec.expand` grid) either inline or across
+a :class:`~concurrent.futures.ProcessPoolExecutor`.  Determinism is by
+construction:
+
+* every spec's seeds are fixed at expansion time (nothing about execution
+  order or worker placement feeds any RNG), and
+* results are assembled by submission index, not completion order,
+
+so ``workers=4`` returns byte-identical records to ``workers=1``.
+
+What crosses the process boundary is a :class:`RunRecord` — the JSON-safe
+projection of an :class:`~repro.harness.experiment.ExperimentResult` (spec,
+summary row, timeline rows, adversarial trace, cache stats) — rather than
+the result object itself, which drags whole graphs along.  The record is
+also exactly what :mod:`repro.scenarios.artifacts` persists to JSONL.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.adversary.base import AdversaryEvent, EventType
+from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.scenarios.spec import ScenarioSpec
+from repro.util.validation import require
+
+
+def event_to_dict(event: AdversaryEvent) -> dict:
+    """Serialize one adversarial event to a JSON-safe dict."""
+    return {
+        "type": event.type.value,
+        "node": event.node,
+        "neighbors": list(event.neighbors),
+    }
+
+
+def event_from_dict(data: dict) -> AdversaryEvent:
+    """Rebuild an adversarial event from :func:`event_to_dict` output."""
+    return AdversaryEvent(
+        type=EventType(data["type"]),
+        node=data["node"],
+        neighbors=tuple(data.get("neighbors", ())),
+    )
+
+
+def timeline_rows(result: ExperimentResult) -> list[dict]:
+    """Flatten a result's metric timeline into JSON-safe rows."""
+    rows: list[dict] = []
+    for entry in result.timeline.entries:
+        rows.append(
+            {
+                "timestep": entry.timestep,
+                "worst_degree_ratio": entry.worst_degree_ratio,
+                "healed": entry.healed.as_dict(),
+                "ghost": entry.ghost.as_dict(),
+            }
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """The portable, JSON-safe outcome of one scenario run.
+
+    Everything here survives ``to_dict -> JSON -> from_dict`` exactly, which
+    is what makes run artifacts replayable and sweep results mergeable across
+    worker processes.
+    """
+
+    spec: ScenarioSpec
+    summary: dict
+    timeline: list = field(default_factory=list)
+    trace: list = field(default_factory=list)
+    cache_stats: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_result(cls, spec: ScenarioSpec, result: ExperimentResult) -> "RunRecord":
+        """Project an experiment result down to its portable record."""
+        return cls(
+            spec=spec,
+            summary=dict(result.summary_row()),
+            timeline=timeline_rows(result),
+            trace=[event_to_dict(event) for event in result.trace],
+            cache_stats=dict(result.cache_stats),
+        )
+
+    def events(self) -> list[AdversaryEvent]:
+        """Return the recorded adversarial trace as event objects."""
+        return [event_from_dict(data) for data in self.trace]
+
+    def to_dict(self) -> dict:
+        """Return the record as one plain dict (see also the JSONL artifact)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "summary": self.summary,
+            "timeline": self.timeline,
+            "trace": self.trace,
+            "cache_stats": self.cache_stats,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            summary=dict(data["summary"]),
+            timeline=list(data.get("timeline", [])),
+            trace=list(data.get("trace", [])),
+            cache_stats=dict(data.get("cache_stats", {})),
+        )
+
+
+def execute_spec(spec: ScenarioSpec) -> RunRecord:
+    """Compile and run one scenario; return its :class:`RunRecord`.
+
+    This is the unit of work :func:`run_scenarios` ships to worker
+    processes, so it must stay importable at module top level (picklable by
+    reference) and must return only portable data.
+    """
+    result = run_experiment(spec.compile())
+    return RunRecord.from_result(spec, result)
+
+
+def run_scenarios(
+    specs: Iterable[ScenarioSpec] | Sequence[ScenarioSpec],
+    workers: int = 1,
+    max_pending: int | None = None,
+) -> list[RunRecord]:
+    """Run every scenario; return records in the order the specs were given.
+
+    ``workers=1`` executes inline (no subprocesses — simplest to debug and
+    profile); ``workers>1`` fans the specs out over a process pool.  Each
+    spec is validated up front so a typo in point 37 of a grid fails fast,
+    before any work is scheduled.  ``max_pending`` caps in-flight submissions
+    (default ``4 * workers``) so million-point grids don't materialize a
+    future per point at once.
+    """
+    spec_list = list(specs)
+    require(workers >= 1, "workers must be at least 1")
+    for spec in spec_list:
+        spec.validate()
+    if workers == 1 or len(spec_list) <= 1:
+        return [execute_spec(spec) for spec in spec_list]
+
+    records: list[RunRecord | None] = [None] * len(spec_list)
+    window = max_pending if max_pending is not None else 4 * workers
+    require(window >= 1, "max_pending must be at least 1")
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        pending = {}
+        next_index = 0
+        while pending or next_index < len(spec_list):
+            while next_index < len(spec_list) and len(pending) < window:
+                future = pool.submit(execute_spec, spec_list[next_index])
+                pending[future] = next_index
+                next_index += 1
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = pending.pop(future)
+                records[index] = future.result()
+    return records  # type: ignore[return-value]
+
+
+def run_sweep(sweep, workers: int = 1) -> list[RunRecord]:
+    """Expand a :class:`~repro.scenarios.sweep.SweepSpec` and run its grid."""
+    return run_scenarios(sweep.expand(), workers=workers)

@@ -1,0 +1,180 @@
+"""Grid/matrix sweep expansion over scenario parameter axes.
+
+A :class:`SweepSpec` is a base :class:`~repro.scenarios.spec.ScenarioSpec`
+plus named axes, each a list of values.  ``expand()`` cross-products the axes
+into one concrete spec per grid point — the declarative replacement for the
+hand-rolled loops :mod:`repro.harness.sweeps` used to require.
+
+Axis keys address either a run parameter (``"timesteps"``) or a component
+keyword through a dotted path (``"healer_kwargs.kappa"``).  By default every
+point inherits the base seed, so the only thing varying along an axis is the
+axis itself (a kappa sweep compares the same initial graph and the same
+churn trace); set ``derive_seeds=True`` for replicate-style sweeps, where
+each point gets a deterministic seed derived from its axis assignment.
+Either way expansion is a pure function of the sweep document — independent
+of execution order and worker count — so
+``run_scenarios(sweep.expand(), workers=4)`` is bit-identical to
+``workers=1``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+
+from repro.scenarios.spec import ScenarioSpec
+from repro.util.rng import derive_seed
+from repro.util.validation import require
+
+#: Axis prefixes that address component kwargs via a dotted path.
+_KWARGS_FIELDS = ("healer_kwargs", "adversary_kwargs", "topology_kwargs")
+
+
+def _axis_targets() -> set[str]:
+    """Return the top-level spec fields an axis may address directly."""
+    return {f.name for f in fields(ScenarioSpec)} - set(_KWARGS_FIELDS) - {"name"}
+
+
+def apply_axis(spec: ScenarioSpec, key: str, value) -> ScenarioSpec:
+    """Return ``spec`` with one axis assignment applied.
+
+    ``key`` is either a ScenarioSpec field name or
+    ``"<component>_kwargs.<param>"``.
+    """
+    if "." in key:
+        prefix, _, param = key.partition(".")
+        require(
+            prefix in _KWARGS_FIELDS,
+            f"axis {key!r}: dotted axes must start with one of {list(_KWARGS_FIELDS)}",
+        )
+        kwargs = dict(getattr(spec, prefix))
+        kwargs[param] = value
+        updated = spec.with_overrides(**{prefix: kwargs})
+        # The healer's kappa and the run-parameter kappa (Theorem-2 bounds,
+        # Lemma-5 accounting) must agree — sweeping one moves the other.
+        if prefix == "healer_kwargs" and param == "kappa" and isinstance(value, int):
+            updated = updated.with_overrides(kappa=value)
+        return updated
+    require(
+        key in _axis_targets(),
+        f"axis {key!r} is not a sweepable field; choose a run parameter from "
+        f"{sorted(_axis_targets())} or a dotted kwargs path like 'healer_kwargs.kappa'",
+    )
+    if key == "kappa" and "kappa" in spec.healer_kwargs:
+        kwargs = dict(spec.healer_kwargs)
+        kwargs["kappa"] = value
+        return spec.with_overrides(kappa=value, healer_kwargs=kwargs)
+    return spec.with_overrides(**{key: value})
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A base scenario crossed with parameter axes.
+
+    Attributes
+    ----------
+    base:
+        The scenario every grid point starts from.
+    axes:
+        ``axis key -> list of values``; the cross product of all axes is the
+        grid.  Axes iterate in sorted key order (the lexicographically last
+        axis varies fastest), so the grid order is canonical — independent of
+        authoring order and stable across JSON round-trips.
+    name:
+        Optional sweep label (defaults to the base label).
+    derive_seeds:
+        When false (default), every point inherits ``base.seed`` — the same
+        initial graph and adversary stream at every grid point, so axis
+        effects are not confounded with RNG changes.  When true, each
+        point's ``seed`` is ``derive_seed(base.seed, "sweep", <canonical
+        assignment>)`` — deterministic but independent per point (use for
+        replicate-style sweeps).  Ignored when an axis sweeps ``seed``
+        itself.
+    """
+
+    base: ScenarioSpec
+    axes: dict = field(default_factory=dict)
+    name: str | None = None
+    derive_seeds: bool = False
+
+    @property
+    def label(self) -> str:
+        """Return the sweep's name (or the base scenario's label)."""
+        return self.name or self.base.label
+
+    def validate(self) -> "SweepSpec":
+        """Check the base spec and every axis key/value list."""
+        self.base.validate()
+        require(bool(self.axes), "a sweep needs at least one axis")
+        for key, values in self.axes.items():
+            require(
+                isinstance(values, (list, tuple)) and len(values) > 0,
+                f"axis {key!r} must map to a non-empty list of values",
+            )
+            # Surface bad keys now rather than at expansion time.
+            apply_axis(self.base, key, values[0])
+        return self
+
+    def points(self) -> list[dict]:
+        """Return the grid as a list of ``{axis: value}`` assignments."""
+        self.validate()
+        assignments: list[dict] = [{}]
+        for key in sorted(self.axes):
+            values = self.axes[key]
+            assignments = [
+                {**assignment, key: value} for assignment in assignments for value in values
+            ]
+        return assignments
+
+    def expand(self) -> list[ScenarioSpec]:
+        """Cross-product the axes into concrete, individually-seeded specs."""
+        specs: list[ScenarioSpec] = []
+        sweeps_seed = any(key == "seed" for key in self.axes)
+        for assignment in self.points():
+            spec = self.base
+            for key, value in assignment.items():
+                spec = apply_axis(spec, key, value)
+            suffix = ",".join(f"{key}={value}" for key, value in assignment.items())
+            point_name = f"{self.label}[{suffix}]"
+            overrides: dict = {"name": point_name}
+            if self.derive_seeds and not sweeps_seed:
+                canonical = json.dumps(assignment, sort_keys=True)
+                overrides["seed"] = derive_seed(self.base.seed, "sweep", canonical)
+            specs.append(spec.with_overrides(**overrides))
+        return specs
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Return the sweep as a plain dict."""
+        return {
+            "base": self.base.to_dict(),
+            "axes": {key: list(values) for key, values in self.axes.items()},
+            "name": self.name,
+            "derive_seeds": self.derive_seeds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        """Build a sweep from a dict, rejecting unknown keys."""
+        known = {"base", "axes", "name", "derive_seeds"}
+        unknown = sorted(set(data) - known)
+        require(not unknown, f"unknown SweepSpec fields {unknown}; known fields: {sorted(known)}")
+        require("base" in data and "axes" in data, "SweepSpec requires 'base' and 'axes'")
+        return cls(
+            base=ScenarioSpec.from_dict(data["base"]),
+            axes=dict(data["axes"]),
+            name=data.get("name"),
+            derive_seeds=data.get("derive_seeds", False),
+        )
+
+    def to_json(self) -> str:
+        """Return canonical JSON (sorted keys, 2-space indent, trailing newline)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        """Parse :meth:`to_json` output back into a sweep."""
+        data = json.loads(text)
+        require(isinstance(data, dict), "a sweep spec must be a JSON object")
+        return cls.from_dict(data)
