@@ -19,6 +19,9 @@ The shell equivalent is::
 
     python -m repro sweep examples/specs/churn_kappa_sweep.json --workers 4
 
+Everything here buffers records in memory; for long grids that must survive
+crashes, see ``examples/long_sweep_resume.py`` — the streaming counterpart
+(``--stream-to`` / ``--resume`` / ``repro report``).
 """
 
 from __future__ import annotations

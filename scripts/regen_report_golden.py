@@ -1,0 +1,62 @@
+"""Regenerate the checked-in golden fixtures for `repro report`.
+
+Usage::
+
+    PYTHONPATH=src python scripts/regen_report_golden.py
+
+Rewrites ``tests/golden/report_sweep/`` (a small streamed sweep directory)
+and ``tests/golden/report_expected/`` (the report.md / summary.csv /
+timeline.csv that ``repro report`` must render from it).  The regression
+test ``tests/test_analysis_report.py`` compares byte-for-byte, so report
+formatting changes are deliberate: rerun this script and review the diff.
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.analysis.report import generate_report  # noqa: E402
+from repro.scenarios import ScenarioSpec, SweepSpec, run_scenarios  # noqa: E402
+
+SWEEP_DIR = REPO / "tests" / "golden" / "report_sweep"
+EXPECTED_DIR = REPO / "tests" / "golden" / "report_expected"
+
+#: Deliberately tiny: 4 points x 5 timesteps on 12 nodes keeps the checked-in
+#: artifacts small and the regression test fast, while exercising two axes,
+#: timelines and both healers' summary shapes.
+BASE = ScenarioSpec(
+    name="golden",
+    # No healer_kwargs: the run-parameter kappa is injected for kappa-aware
+    # healers, and the "no-heal" axis value does not accept one at all.
+    healer="xheal",
+    adversary="random",
+    adversary_kwargs={"delete_probability": 0.6},
+    topology="random-regular",
+    topology_kwargs={"n": 12, "degree": 4},
+    timesteps=5,
+    metric_every=2,
+    exact_expansion_limit=12,
+    stretch_sample_pairs=20,
+    seed=5,
+)
+
+SWEEP = SweepSpec(base=BASE, axes={"healer": ["xheal", "no-heal"], "timesteps": [3, 5]})
+
+
+def main() -> None:
+    for directory in (SWEEP_DIR, EXPECTED_DIR):
+        if directory.exists():
+            shutil.rmtree(directory)
+    result = run_scenarios(SWEEP.expand(), stream_to=SWEEP_DIR)
+    print(f"streamed {result.total} points to {SWEEP_DIR}")
+    report = generate_report(SWEEP_DIR, out_dir=EXPECTED_DIR)
+    print(f"wrote {[path.name for path in report.written]} to {EXPECTED_DIR}")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,7 +3,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-xheal",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'Xheal: Localized Self-healing using Expanders' "
         "(Pandurangan & Trehan, PODC 2011) with a declarative scenario API"
@@ -15,6 +15,30 @@ setup(
     entry_points={
         "console_scripts": [
             "repro=repro.scenarios.cli:main",
+        ],
+        # Scenario plugin groups (see repro.scenarios.registry): third-party
+        # packages declare the same groups to extend the registries without
+        # any import on our side.  "repro.plugins" entries are load-only —
+        # importing the module runs its @register_* decorators; the
+        # component groups register the loaded object under the entry name.
+        # The built-ins below are declared both ways as the reference usage
+        # (re-registering the same object under the same name is a no-op).
+        "repro.plugins": [
+            "builtin-xheal=repro.core.xheal",
+            "builtin-ablations=repro.core.ablations",
+            "builtin-baselines=repro.baselines",
+            "builtin-distributed=repro.distributed.protocol",
+            "builtin-adversaries=repro.adversary.strategies",
+            "builtin-topologies=repro.harness.workloads",
+        ],
+        "repro.healers": [
+            "xheal=repro.core.xheal:Xheal",
+        ],
+        "repro.adversaries": [
+            "random=repro.adversary.strategies:RandomAdversary",
+        ],
+        "repro.topologies": [
+            "random-regular=repro.harness.workloads:random_regular_workload",
         ],
     },
 )

@@ -9,6 +9,8 @@
 * :mod:`repro.analysis.trackers` — per-timestep trackers that accumulate the
   Theorem 2 quantities cheaply during a long run (degree ratios every step,
   spectral quantities on a configurable cadence).
+* :mod:`repro.analysis.report` — memory-bounded aggregation of streamed
+  sweep directories into per-axis markdown/CSV reports (``repro report``).
 """
 
 from repro.analysis.invariants import (
@@ -49,4 +51,25 @@ __all__ = [
     "DegreeRatioTracker",
     "MetricTimeline",
     "TimelineEntry",
+    # lazily loaded (see __getattr__) — the report module pulls in the
+    # scenarios layer, which plain invariant checking should not:
+    "SweepReport",
+    "generate_report",
+    "scan_artifact_paths",
 ]
+
+_LAZY = {
+    "SweepReport": "repro.analysis.report",
+    "generate_report": "repro.analysis.report",
+    "scan_artifact_paths": "repro.analysis.report",
+}
+
+
+def __getattr__(name: str):
+    """Load the sweep-report module on demand (keeps import edges acyclic)."""
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)

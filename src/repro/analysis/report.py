@@ -1,0 +1,338 @@
+"""Aggregate reports over streamed sweep directories.
+
+:func:`generate_report` turns a directory of JSONL run artifacts (as written
+by ``run_scenarios(..., stream_to=...)`` or ``repro sweep --stream-to``) into
+
+* a markdown report — one per-point summary table, one aggregate table per
+  *varying axis* (any dotted spec field that takes more than one value across
+  the directory), and optionally per-point timeline tables,
+* ``summary.csv`` — per-point summary rows plus their axis assignment, and
+* ``timeline.csv`` — every recorded timeline row in long format.
+
+The reader is memory-bounded: artifacts are consumed one line at a time via
+:func:`~repro.scenarios.artifacts.iter_artifact`, timeline rows are appended
+to the CSV as they are read, and only the small per-point summary rows (plus
+a compact per-point series for the markdown timeline section) are retained —
+a thousand-point sweep directory never gets loaded into memory at once.
+
+Axes are *inferred*, not configured: the spec line of every artifact is
+flattened to dotted keys (``healer_kwargs.kappa``) and any key that varies is
+an axis.  This keeps the report honest for hand-assembled directories, not
+just ones produced by a single :class:`~repro.scenarios.sweep.SweepSpec`.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.scenarios.artifacts import iter_artifact
+from repro.scenarios.stream import INDEX_NAME, MANIFEST_NAME
+from repro.util.validation import require
+
+#: Compact per-point series shown in the markdown timeline section:
+#: column header -> extractor over one timeline row.
+_TIMELINE_COLUMNS = {
+    "step": lambda row: row.get("timestep"),
+    "degree_ratio": lambda row: row.get("worst_degree_ratio"),
+    "h(healed)": lambda row: row.get("healed", {}).get("edge_expansion"),
+    "h(ghost)": lambda row: row.get("ghost", {}).get("edge_expansion"),
+    "lambda(healed)": lambda row: row.get("healed", {}).get("algebraic_connectivity"),
+}
+
+
+def flatten_dotted(mapping: dict, prefix: str = "") -> dict:
+    """Flatten nested dicts to dotted keys; non-dict values pass through."""
+    flat: dict = {}
+    for key, value in mapping.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(flatten_dotted(value, prefix=f"{dotted}."))
+        else:
+            flat[dotted] = value
+    return flat
+
+
+def scan_artifact_paths(directory: str | Path) -> list[Path]:
+    """Return the directory's artifact files in canonical point order.
+
+    When the directory carries a ``MANIFEST.json`` (a finalized streamed
+    sweep), its entry order — the sweep's submission order — wins; otherwise
+    every ``*.jsonl`` except the stream index is taken in sorted-name order.
+    """
+    import json
+
+    directory = Path(directory)
+    require(directory.is_dir(), f"not a sweep directory: {directory}")
+    manifest = directory / MANIFEST_NAME
+    if manifest.is_file():
+        entries = json.loads(manifest.read_text(encoding="utf-8"))["entries"]
+        return [directory / entry["artifact"] for entry in entries]
+    # Dotted names are the stream writer's crash leftovers (.tmp-*): a
+    # killed sweep may leave a partial temp artifact next to the real ones.
+    paths = sorted(
+        path
+        for path in directory.glob("*.jsonl")
+        if path.name != INDEX_NAME and not path.name.startswith(".")
+    )
+    require(bool(paths), f"no run artifacts (*.jsonl) in {directory}")
+    return paths
+
+
+def _cell(value) -> str:
+    """Render one markdown/CSV cell deterministically."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _markdown_table(rows: list[dict], columns: list[str]) -> str:
+    """Render dict rows as a GitHub-flavored markdown table."""
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_cell(row.get(column)) for column in columns) + " |")
+    return "\n".join(lines)
+
+
+def _sort_key(value):
+    """Order mixed-type axis values deterministically (numbers, then text)."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (0, value, "")
+    return (1, 0, str(value))
+
+
+@dataclass
+class PointSummary:
+    """One artifact's contribution to the aggregate report."""
+
+    label: str
+    artifact: str
+    spec_flat: dict
+    summary: dict
+    timeline: list = field(default_factory=list)  # compact markdown series
+
+
+@dataclass
+class SweepReport:
+    """The aggregated view of a sweep directory."""
+
+    directory: Path
+    points: list
+    axes: dict  # dotted spec key -> sorted distinct values
+    markdown: str
+    written: list = field(default_factory=list)  # files written by out_dir
+
+
+def _read_point(path: Path, timeline_writer, include_timeline: bool) -> PointSummary:
+    """Single-pass read of one artifact (timeline rows streamed straight out)."""
+    spec_data: dict | None = None
+    summary: dict | None = None
+    compact: list[dict] = []
+    for kind, data in iter_artifact(path):
+        if kind == "spec":
+            spec_data = data
+        elif kind == "summary":
+            summary = data
+        elif kind == "timeline":
+            if timeline_writer is not None:
+                timeline_writer.write_row(path, spec_data, data)
+            if include_timeline:
+                compact.append(
+                    {name: pick(data) for name, pick in _TIMELINE_COLUMNS.items()}
+                )
+    require(spec_data is not None, f"artifact {path} has no 'spec' line")
+    require(summary is not None, f"artifact {path} has no 'summary' line")
+    label = spec_data.get("name") or (
+        f"{spec_data.get('healer')}@{spec_data.get('topology')}"
+        f"/{spec_data.get('adversary')}"
+    )
+    return PointSummary(
+        label=label,
+        artifact=path.name,
+        spec_flat=flatten_dotted(spec_data),
+        summary=dict(summary),
+        timeline=compact,
+    )
+
+
+class _TimelineCsv:
+    """Streams timeline rows to ``timeline.csv`` as artifacts are read."""
+
+    def __init__(self, path: Path):
+        self._handle = path.open("w", encoding="utf-8", newline="")
+        self._writer: csv.DictWriter | None = None
+        self.path = path
+        self.rows = 0
+
+    def write_row(self, artifact: Path, spec_data: dict | None, row: dict) -> None:
+        label = (spec_data or {}).get("name") or artifact.stem
+        flat = {"label": label, **flatten_dotted(row)}
+        if self._writer is None:
+            self._writer = csv.DictWriter(self._handle, fieldnames=list(flat))
+            self._writer.writeheader()
+        self._writer.writerow({key: _cell(flat.get(key)) for key in self._writer.fieldnames})
+        self.rows += 1
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+def detect_axes(points: list) -> dict:
+    """Return ``dotted spec key -> sorted distinct values`` for varying keys.
+
+    ``name`` always varies (sweep expansion bakes the assignment into it) and
+    is never an axis.  A key that only *some* points carry (hand-assembled
+    directories mixing kwargs shapes) varies too — the axis table then gets
+    an explicit ``(missing)`` group so its point counts still sum to the
+    directory total.
+    """
+    values: dict[str, list] = {}
+    for point in points:
+        for key, value in point.spec_flat.items():
+            bucket = values.setdefault(key, [])
+            if value not in bucket:
+                bucket.append(value)
+    return {
+        key: sorted(distinct, key=_sort_key)
+        for key, distinct in sorted(values.items())
+        if key != "name"
+        and (
+            len(distinct) > 1
+            or any(key not in point.spec_flat for point in points)
+        )
+    }
+
+
+def _aggregate(points: list) -> dict:
+    """Aggregate summary columns over ``points`` (means; bools as ok-counts)."""
+    row: dict = {"points": len(points)}
+    columns: dict[str, list] = {}
+    for point in points:
+        for key, value in point.summary.items():
+            columns.setdefault(key, []).append(value)
+    for key, column in columns.items():
+        if all(isinstance(value, bool) for value in column):
+            row[f"{key} ok"] = f"{sum(column)}/{len(column)}"
+        elif all(
+            isinstance(value, (int, float)) and not isinstance(value, bool)
+            for value in column
+        ):
+            row[f"{key} mean"] = float(sum(column)) / len(column)
+    return row
+
+
+def _axis_section(key: str, values: list, points: list) -> str:
+    """Render the aggregate table for one axis.
+
+    Every point lands in exactly one row: points without the key at all get
+    the trailing ``(missing)`` group rather than silently vanishing.
+    """
+    rows = []
+    for value in values:
+        group = [
+            point
+            for point in points
+            if key in point.spec_flat and point.spec_flat[key] == value
+        ]
+        rows.append({key: value, **_aggregate(group)})
+    absent = [point for point in points if key not in point.spec_flat]
+    if absent:
+        rows.append({key: "(missing)", **_aggregate(absent)})
+    columns = [key]
+    for row in rows:
+        columns.extend(column for column in row if column not in columns)
+    return f"## Axis: `{key}`\n\n{_markdown_table(rows, columns)}"
+
+
+def generate_report(
+    directory: str | Path,
+    out_dir: str | Path | None = None,
+    include_timeline: bool = True,
+) -> SweepReport:
+    """Aggregate a sweep directory into a :class:`SweepReport`.
+
+    When ``out_dir`` is given, ``report.md``, ``summary.csv`` and (if any
+    timeline rows exist) ``timeline.csv`` are written there; the markdown is
+    always available on the returned report.
+    """
+    directory = Path(directory)
+    paths = scan_artifact_paths(directory)
+    written: list[Path] = []
+    timeline_writer = None
+    if out_dir is not None:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        timeline_writer = _TimelineCsv(out_dir / "timeline.csv")
+    try:
+        points = [_read_point(path, timeline_writer, include_timeline) for path in paths]
+    finally:
+        if timeline_writer is not None:
+            timeline_writer.close()
+    axes = detect_axes(points)
+
+    summary_columns = ["point"]
+    for point in points:
+        for key in point.summary:
+            if key not in summary_columns:
+                summary_columns.append(key)
+    point_rows = [{"point": point.label, **point.summary} for point in points]
+
+    sections = [
+        f"# Sweep report: {directory.name}",
+        "\n".join(
+            [
+                f"- points: {len(points)}",
+                f"- varying axes: "
+                + (", ".join(f"`{key}`" for key in axes) if axes else "(none)"),
+            ]
+        ),
+        f"## Points\n\n{_markdown_table(point_rows, summary_columns)}",
+    ]
+    for key, values in axes.items():
+        sections.append(_axis_section(key, values, points))
+    if include_timeline and any(point.timeline for point in points):
+        timeline_parts = ["## Timelines"]
+        for point in points:
+            if point.timeline:
+                timeline_parts.append(
+                    f"### {point.label}\n\n"
+                    + _markdown_table(point.timeline, list(_TIMELINE_COLUMNS))
+                )
+        sections.append("\n\n".join(timeline_parts))
+    markdown = "\n\n".join(sections) + "\n"
+
+    if out_dir is not None:
+        report_path = out_dir / "report.md"
+        report_path.write_text(markdown, encoding="utf-8")
+        written.append(report_path)
+        summary_path = out_dir / "summary.csv"
+        axis_columns = list(axes)
+        with summary_path.open("w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            # Axis columns are namespaced (spec.healer, spec.timesteps) so
+            # they never collide with summary columns of the same name.
+            writer.writerow(
+                ["point", *(f"spec.{key}" for key in axis_columns), *summary_columns[1:]]
+            )
+            for point in points:
+                writer.writerow(
+                    [point.label]
+                    + [_cell(point.spec_flat.get(key)) for key in axis_columns]
+                    + [_cell(point.summary.get(key)) for key in summary_columns[1:]]
+                )
+        written.append(summary_path)
+        if timeline_writer is not None and timeline_writer.rows:
+            written.append(timeline_writer.path)
+        elif timeline_writer is not None:
+            timeline_writer.path.unlink()
+    return SweepReport(
+        directory=directory, points=points, axes=axes, markdown=markdown, written=written
+    )

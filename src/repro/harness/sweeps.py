@@ -44,16 +44,29 @@ def sweep_parameter(
     label: str,
     values: Sequence[object],
     configure: Callable[[ExperimentConfig, object], ExperimentConfig],
+    on_result: Callable[[SweepResult], None] | None = None,
+    collect: bool = True,
 ) -> list[SweepResult]:
     """Run the experiment once per parameter value.
 
     ``configure(config, value)`` returns the config to use for that value
     (typically built with :func:`dataclasses.replace`).
+
+    ``on_result`` fires after each point completes — the streaming hook for
+    long sweeps (persist the row, drop the graphs).  With ``collect=False``
+    nothing is buffered and the returned list is empty; an
+    :class:`~repro.harness.experiment.ExperimentResult` holds whole graphs,
+    so buffering thousands of them is exactly what the scenario layer's
+    ``stream_to`` mode exists to avoid.
     """
     results: list[SweepResult] = []
     for value in values:
         config = configure(base_config, value)
-        results.append(SweepResult(label=label, parameter=value, result=run_experiment(config)))
+        point = SweepResult(label=label, parameter=value, result=run_experiment(config))
+        if on_result is not None:
+            on_result(point)
+        if collect:
+            results.append(point)
     return results
 
 
@@ -61,6 +74,8 @@ def sweep_healers(
     base_config: ExperimentConfig,
     healers: Mapping[str, Callable[[], SelfHealer]],
     adversary_factory: Callable[[], Adversary] | None = None,
+    on_result: Callable[[SweepResult], None] | None = None,
+    collect: bool = True,
 ) -> list[SweepResult]:
     """Run the same experiment once per healer (each against a fresh adversary).
 
@@ -69,6 +84,9 @@ def sweep_healers(
     different adaptive choices, which is the model's intent (the adversary is
     omniscient about topology).  For strictly identical traces use
     :func:`repro.harness.experiment.run_healer_on_trace`.
+
+    ``on_result``/``collect`` stream points as they finish, as in
+    :func:`sweep_parameter`.
     """
     results: list[SweepResult] = []
     for name, factory in healers.items():
@@ -77,7 +95,11 @@ def sweep_healers(
             healer_factory=factory,
             adversary_factory=adversary_factory or base_config.adversary_factory,
         )
-        results.append(SweepResult(label="healer", parameter=name, result=run_experiment(config)))
+        point = SweepResult(label="healer", parameter=name, result=run_experiment(config))
+        if on_result is not None:
+            on_result(point)
+        if collect:
+            results.append(point)
     return results
 
 

@@ -24,8 +24,15 @@ Sweeps cross-product parameter axes and run points in parallel::
                                        "timesteps": [50, 100]})
     records = run_scenarios(sweep.expand(), workers=4)
 
+Long sweeps stream each finished point durably to disk and survive crashes::
+
+    result = run_scenarios(sweep.expand(), workers=4, stream_to="out/")
+    # ... crash, power loss, ^C ...
+    result = run_scenarios(sweep.expand(), workers=4, resume="out/")
+    # only the missing points re-run; artifacts are byte-identical either way
+
 The same operations are available from a shell via ``python -m repro``
-(``run`` / ``sweep`` / ``list`` / ``replay``).
+(``run`` / ``sweep`` / ``report`` / ``list`` / ``replay``).
 
 The registry layer (:mod:`repro.scenarios.registry`) is imported eagerly —
 it is dependency-free, so component modules can register themselves without
@@ -65,9 +72,13 @@ __all__ = [
     "SweepSpec",
     "RunRecord",
     "run_scenarios",
+    "run_sweep",
     "save_run",
     "load_run",
+    "iter_artifact",
     "replay_artifact",
+    "SweepStream",
+    "StreamResult",
 ]
 
 _LAZY = {
@@ -75,9 +86,13 @@ _LAZY = {
     "SweepSpec": "repro.scenarios.sweep",
     "RunRecord": "repro.scenarios.runner",
     "run_scenarios": "repro.scenarios.runner",
+    "run_sweep": "repro.scenarios.runner",
     "save_run": "repro.scenarios.artifacts",
     "load_run": "repro.scenarios.artifacts",
+    "iter_artifact": "repro.scenarios.artifacts",
     "replay_artifact": "repro.scenarios.artifacts",
+    "SweepStream": "repro.scenarios.stream",
+    "StreamResult": "repro.scenarios.stream",
 }
 
 

@@ -32,10 +32,14 @@ from repro.scenarios.spec import ScenarioSpec
 from repro.util.validation import require
 
 
-def save_run(record: RunRecord, path: str | Path) -> Path:
-    """Write ``record`` to ``path`` as a JSONL artifact; return the path."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+def run_lines(record: RunRecord) -> list[str]:
+    """Serialize ``record`` to its JSONL artifact lines (no trailing newline).
+
+    This is the single source of artifact bytes: :func:`save_run` and the
+    streaming sweep writer (:mod:`repro.scenarios.stream`) both emit exactly
+    these lines, which is what makes buffered, streamed and resumed sweep
+    outputs byte-identical.
+    """
     lines: list[str] = []
 
     def add(kind: str, data) -> None:
@@ -48,8 +52,34 @@ def save_run(record: RunRecord, path: str | Path) -> Path:
     for event in record.trace:
         add("event", event)
     add("cache_stats", record.cache_stats)
-    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return lines
+
+
+def save_run(record: RunRecord, path: str | Path) -> Path:
+    """Write ``record`` to ``path`` as a JSONL artifact; return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(run_lines(record)) + "\n", encoding="utf-8")
     return path
+
+
+def iter_artifact(path: str | Path):
+    """Yield ``(kind, data)`` per artifact line without building a RunRecord.
+
+    This is the memory-bounded read path: the report generator consumes
+    sweep directories one line at a time, so aggregate tables over thousands
+    of points never hold more than one artifact's worth of rows.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{line_number}: not valid JSONL ({error})") from None
+            yield entry.get("kind"), entry.get("data")
 
 
 def load_run(path: str | Path) -> RunRecord:
@@ -60,14 +90,7 @@ def load_run(path: str | Path) -> RunRecord:
     timeline: list[dict] = []
     trace: list[dict] = []
     cache_stats: dict = {}
-    for line_number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
-        if not line.strip():
-            continue
-        try:
-            entry = json.loads(line)
-        except json.JSONDecodeError as error:
-            raise ValueError(f"{path}:{line_number}: not valid JSONL ({error})") from None
-        kind, data = entry.get("kind"), entry.get("data")
+    for kind, data in iter_artifact(path):
         if kind == "spec":
             spec_data = data
         elif kind == "summary":
@@ -79,7 +102,7 @@ def load_run(path: str | Path) -> RunRecord:
         elif kind == "cache_stats":
             cache_stats = data
         else:
-            raise ValueError(f"{path}:{line_number}: unknown artifact line kind {kind!r}")
+            raise ValueError(f"{path}: unknown artifact line kind {kind!r}")
     require(spec_data is not None, f"artifact {path} has no 'spec' line")
     require(summary is not None, f"artifact {path} has no 'summary' line")
     return RunRecord(

@@ -1,4 +1,4 @@
-"""The ``repro`` command line: run, sweep, list and replay scenarios.
+"""The ``repro`` command line: run, sweep, report, list and replay scenarios.
 
 Installed as the ``repro`` console script (see ``setup.py``) and runnable as
 ``python -m repro``::
@@ -7,13 +7,18 @@ Installed as the ``repro`` console script (see ``setup.py``) and runnable as
     python -m repro run spec.json              # one scenario -> summary table
     python -m repro run spec.json --artifact run.jsonl
     python -m repro sweep sweep.json --workers 4 --artifact-dir out/
+    python -m repro sweep sweep.json --stream-to out/   # durable, append-as-you-go
+    python -m repro sweep sweep.json --resume out/      # re-run only missing points
+    python -m repro report out/ --out report/  # aggregate tables from artifacts
     python -m repro replay run.jsonl           # bit-identical re-execution
 
 Spec files are :meth:`~repro.scenarios.spec.ScenarioSpec.to_json` documents;
 sweep files are :meth:`~repro.scenarios.sweep.SweepSpec.to_json` documents
 (``{"base": {...}, "axes": {...}}``).  ``replay`` exits non-zero when the
 replayed summary deviates from the recorded one, so it doubles as an
-integrity check in CI.
+integrity check in CI.  A crashed ``--stream-to`` sweep loses nothing:
+``--resume`` fingerprints every point and executes exactly the missing ones,
+with byte-identical final artifacts.
 """
 
 from __future__ import annotations
@@ -78,6 +83,26 @@ def _cmd_sweep(args) -> int:
     sweep = SweepSpec.from_json(Path(args.sweep).read_text(encoding="utf-8"))
     specs = sweep.expand()
     print(f"sweep {sweep.label}: {len(specs)} points, workers={args.workers}")
+    if args.artifact_dir and (args.stream_to or args.resume):
+        raise ValueError(
+            "--artifact-dir buffers in memory; it cannot be combined with "
+            "--stream-to/--resume (the streamed directory already holds one "
+            "artifact per point)"
+        )
+    if args.stream_to or args.resume:
+        # Streamed mode: nothing is buffered, each finished point lands on
+        # disk durably, and a resumed run executes only the missing points.
+        result = run_scenarios(
+            specs,
+            workers=args.workers,
+            stream_to=args.stream_to,
+            resume=args.resume,
+        )
+        print(
+            f"streamed {result.total} points to {result.directory}/ "
+            f"(executed {result.executed}, resumed {result.skipped})"
+        )
+        return 0
     records = run_scenarios(specs, workers=args.workers)
     _print_records(records, title=f"sweep: {sweep.label}")
     if args.artifact_dir:
@@ -85,6 +110,18 @@ def _cmd_sweep(args) -> int:
         for index, record in enumerate(records):
             save_run(record, directory / artifact_name(index, record.spec.label))
         print(f"{len(records)} artifacts written to {directory}/")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import generate_report
+
+    report = generate_report(
+        args.directory, out_dir=args.out, include_timeline=not args.no_timeline
+    )
+    print(report.markdown, end="")
+    for path in report.written:
+        print(f"wrote {path}", file=sys.stderr)
     return 0
 
 
@@ -142,7 +179,31 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--artifact-dir", help="write one replayable JSONL artifact per point here"
     )
+    sweep_parser.add_argument(
+        "--stream-to",
+        metavar="DIR",
+        help="durably stream each finished point to DIR as it completes "
+        "(crash-resumable; skips the summary table)",
+    )
+    sweep_parser.add_argument(
+        "--resume",
+        metavar="DIR",
+        help="resume a crashed --stream-to sweep: re-run only the points DIR "
+        "does not already record",
+    )
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    report_parser = sub.add_parser(
+        "report", help="aggregate a sweep artifact directory into tables"
+    )
+    report_parser.add_argument("directory", help="a --stream-to / --artifact-dir directory")
+    report_parser.add_argument(
+        "--out", metavar="DIR", help="also write report.md, summary.csv and timeline.csv here"
+    )
+    report_parser.add_argument(
+        "--no-timeline", action="store_true", help="omit per-point timeline tables"
+    )
+    report_parser.set_defaults(func=_cmd_report)
 
     replay_parser = sub.add_parser(
         "replay", help="re-execute a run artifact and verify the summary matches"

@@ -23,12 +23,25 @@ Lookups go through :meth:`Registry.get`, which raises a
 whose message lists every registered name and suggests the nearest one on a
 typo.  The registries populate themselves on first lookup by importing the
 provider modules, so ``python -m repro list`` works without any prior import.
+
+Third-party packages extend the registries without any import on our side by
+declaring package entry points (see :data:`ENTRY_POINT_GROUPS`)::
+
+    entry_points={
+        "repro.healers": ["my-healer = my_pkg.healers:MyHealer"],
+        "repro.plugins": ["my-extras = my_pkg.register_all"],
+    }
+
+A ``repro.healers`` / ``repro.adversaries`` / ``repro.topologies`` entry is
+registered under its entry-point name; a ``repro.plugins`` entry is simply
+loaded (its import runs the package's own ``@register_*`` decorators).
 """
 
 from __future__ import annotations
 
 import difflib
 import importlib
+import warnings
 from types import MappingProxyType
 from typing import Callable, Iterable, Mapping, TypeVar
 
@@ -36,7 +49,7 @@ from repro.util.validation import ValidationError
 
 T = TypeVar("T")
 
-#: Modules whose import populates the registries (the plugin entry points).
+#: Modules whose import populates the registries (the built-in providers).
 PROVIDER_MODULES: tuple[str, ...] = (
     "repro.core.xheal",
     "repro.core.ablations",
@@ -46,16 +59,78 @@ PROVIDER_MODULES: tuple[str, ...] = (
     "repro.harness.workloads",
 )
 
+#: Entry-point group -> registry kind (None = load-only, for ``@register_*``
+#: decorators that run at import time).
+ENTRY_POINT_GROUPS: dict[str, str | None] = {
+    "repro.healers": "healer",
+    "repro.adversaries": "adversary",
+    "repro.topologies": "topology",
+    "repro.plugins": None,
+}
+
 _populated = False
+_populating = False
+
+
+def _registry_for_kind(kind: str) -> "Registry":
+    return {"healer": HEALERS, "adversary": ADVERSARIES, "topology": TOPOLOGIES}[kind]
+
+
+def _iter_entry_points(group: str):
+    """Yield the installed entry points of ``group`` (empty when unpackaged)."""
+    from importlib import metadata
+
+    try:
+        return metadata.entry_points(group=group)
+    except Exception:  # pragma: no cover - defensive against exotic metadata
+        return ()
+
+
+def _load_entry_point_plugins() -> None:
+    """Register every installed ``repro.*`` entry point.
+
+    One broken third-party plugin must not take down ``repro list`` for
+    everyone else, so load failures become warnings naming the entry point,
+    and loading continues.  A component entry point whose name is already
+    registered to a *different* object is rejected (first registration wins);
+    re-declaring a built-in (as our own setup.py does) is a no-op.
+    """
+    for group, kind in ENTRY_POINT_GROUPS.items():
+        for entry_point in _iter_entry_points(group):
+            try:
+                loaded = entry_point.load()
+                if kind is not None:
+                    registry = _registry_for_kind(kind)
+                    existing = registry._entries.get(registry.canonical(entry_point.name))
+                    if existing is None:
+                        registry.register(entry_point.name)(loaded)
+                    elif existing is not loaded:
+                        raise ValidationError(
+                            f"{kind} name {entry_point.name!r} is already registered"
+                        )
+            except Exception as error:
+                warnings.warn(
+                    f"failed to load entry point {entry_point.name!r} "
+                    f"(group {group!r}): {error}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
 
 def _ensure_populated() -> None:
     """Import every provider module once so their decorators have run."""
-    global _populated
-    if _populated:
+    global _populated, _populating
+    if _populated or _populating:
         return
-    for module in PROVIDER_MODULES:
-        importlib.import_module(module)
+    # The in-progress flag keeps a plugin that performs lookups at import
+    # time from recursing back into population.
+    _populating = True
+    try:
+        for module in PROVIDER_MODULES:
+            importlib.import_module(module)
+        _load_entry_point_plugins()
+    finally:
+        _populating = False
     # Only mark populated once every provider imported cleanly — a failed
     # import must not leave later lookups running against a half-filled
     # registry with no sign of the real error.

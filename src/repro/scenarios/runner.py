@@ -20,8 +20,10 @@ also exactly what :mod:`repro.scenarios.artifacts` persists to JSONL.
 
 from __future__ import annotations
 
+from collections import Counter
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.adversary.base import AdversaryEvent, EventType
@@ -130,8 +132,10 @@ def run_scenarios(
     specs: Iterable[ScenarioSpec] | Sequence[ScenarioSpec],
     workers: int = 1,
     max_pending: int | None = None,
-) -> list[RunRecord]:
-    """Run every scenario; return records in the order the specs were given.
+    stream_to: str | Path | None = None,
+    resume: str | Path | None = None,
+):
+    """Run every scenario, buffered in memory or streamed to a directory.
 
     ``workers=1`` executes inline (no subprocesses — simplest to debug and
     profile); ``workers>1`` fans the specs out over a process pool.  Each
@@ -139,32 +143,122 @@ def run_scenarios(
     before any work is scheduled.  ``max_pending`` caps in-flight submissions
     (default ``4 * workers``) so million-point grids don't materialize a
     future per point at once.
+
+    Without ``stream_to``/``resume`` the call returns ``list[RunRecord]`` in
+    spec order — every record buffered in memory, as before.
+
+    ``stream_to=<dir>`` instead durably appends each finished point to the
+    directory as it completes (JSONL artifact + fsync'd index line, in
+    completion order — see :mod:`repro.scenarios.stream`), keeps at most the
+    in-flight window of records in memory, writes a canonical
+    ``MANIFEST.json`` at the end, and returns a
+    :class:`~repro.scenarios.stream.StreamResult`.  ``resume=<dir>`` streams
+    to the same directory but first fingerprints every spec and skips the
+    points the directory already records, executing exactly the missing ones;
+    serial, parallel and crash-resumed runs of the same spec list produce
+    byte-identical artifacts and manifests.
     """
     spec_list = list(specs)
     require(workers >= 1, "workers must be at least 1")
     for spec in spec_list:
         spec.validate()
-    if workers == 1 or len(spec_list) <= 1:
-        return [execute_spec(spec) for spec in spec_list]
+    if stream_to is None and resume is None:
+        if workers == 1 or len(spec_list) <= 1:
+            return [execute_spec(spec) for spec in spec_list]
+        records: list[RunRecord | None] = [None] * len(spec_list)
 
-    records: list[RunRecord | None] = [None] * len(spec_list)
+        def on_complete(index: int, record: RunRecord) -> None:
+            records[index] = record
+
+        _run_pooled(spec_list, range(len(spec_list)), workers, max_pending, on_complete)
+        return records  # type: ignore[return-value]
+    return _run_streamed(spec_list, workers, max_pending, stream_to, resume)
+
+
+def _run_pooled(spec_list, indices, workers, max_pending, on_complete) -> None:
+    """Execute ``spec_list[i]`` for each index on a pool, bounded in flight.
+
+    ``on_complete(index, record)`` fires in completion order; nothing beyond
+    the in-flight window is retained here, so the caller decides whether to
+    buffer (in-memory list) or stream (durable directory).
+    """
+    todo = list(indices)
     window = max_pending if max_pending is not None else 4 * workers
     require(window >= 1, "max_pending must be at least 1")
     with ProcessPoolExecutor(max_workers=workers) as pool:
         pending = {}
-        next_index = 0
-        while pending or next_index < len(spec_list):
-            while next_index < len(spec_list) and len(pending) < window:
-                future = pool.submit(execute_spec, spec_list[next_index])
-                pending[future] = next_index
-                next_index += 1
+        cursor = 0
+        while pending or cursor < len(todo):
+            while cursor < len(todo) and len(pending) < window:
+                index = todo[cursor]
+                pending[pool.submit(execute_spec, spec_list[index])] = index
+                cursor += 1
             done, _ = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
-                index = pending.pop(future)
-                records[index] = future.result()
-    return records  # type: ignore[return-value]
+                on_complete(pending.pop(future), future.result())
 
 
-def run_sweep(sweep, workers: int = 1) -> list[RunRecord]:
+def _run_streamed(spec_list, workers, max_pending, stream_to, resume):
+    """The ``stream_to``/``resume`` execution path of :func:`run_scenarios`."""
+    from repro.scenarios.stream import StreamResult, SweepStream
+
+    if resume is not None:
+        require(
+            stream_to is None or Path(stream_to) == Path(resume),
+            "stream_to and resume must name the same directory when both are given",
+        )
+        stream_to = resume
+    stream = SweepStream(stream_to)
+    if resume is None:
+        require(
+            not stream.index_path.exists(),
+            f"{stream.index_path} already exists; pass resume=<dir> to continue "
+            f"that sweep, or stream to a fresh directory",
+        )
+    fingerprints = [spec.fingerprint() for spec in spec_list]
+    duplicated = sorted(fp for fp, count in Counter(fingerprints).items() if count > 1)
+    require(
+        not duplicated,
+        f"streamed sweeps need distinct specs per point; duplicate fingerprints: "
+        f"{[fp[:12] for fp in duplicated]}",
+    )
+    completed = stream.completed() if resume is not None else {}
+    orphans = set(completed) - set(fingerprints)
+    if orphans:
+        # Loud, not fatal: resuming with a *changed* grid (extended axes) is
+        # legitimate, but resuming with the wrong sweep file would otherwise
+        # silently mix two sweeps — the orphan artifacts stay on disk while
+        # MANIFEST.json (and hence `repro report`) covers only this grid.
+        import warnings
+
+        warnings.warn(
+            f"{stream.directory} records {len(orphans)} point(s) that are not "
+            f"part of this sweep (resumed with a different spec list?); their "
+            f"artifacts remain on disk but are excluded from MANIFEST.json",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    todo = [index for index, fp in enumerate(fingerprints) if fp not in completed]
+    with stream:
+        if workers == 1 or len(todo) <= 1:
+            for index in todo:
+                stream.record(index, execute_spec(spec_list[index]))
+        else:
+            _run_pooled(spec_list, todo, workers, max_pending, stream.record)
+        entries = stream.finalize(spec_list, verified=completed)
+    return StreamResult(
+        directory=stream.directory,
+        paths=[stream.directory / entry["artifact"] for entry in entries],
+        executed=len(todo),
+        skipped=len(spec_list) - len(todo),
+    )
+
+
+def run_sweep(
+    sweep,
+    workers: int = 1,
+    stream_to: str | Path | None = None,
+    resume: str | Path | None = None,
+):
     """Expand a :class:`~repro.scenarios.sweep.SweepSpec` and run its grid."""
-    return run_scenarios(sweep.expand(), workers=workers)
+    return run_scenarios(sweep.expand(), workers=workers, stream_to=stream_to, resume=resume)

@@ -19,6 +19,7 @@ the whole scenario is reproducible from the single ``seed`` field.
 
 from __future__ import annotations
 
+import hashlib
 import inspect
 import json
 from dataclasses import asdict, dataclass, field, fields, replace
@@ -40,6 +41,18 @@ def _check_json_exact(kwargs: dict, what: str) -> None:
         f"{what} do not round-trip through JSON exactly "
         f"(use only JSON-native types: str/int/float/bool/None/list/dict); got {kwargs!r}",
     )
+
+
+def canonical_fingerprint(data: dict) -> str:
+    """Return the SHA-256 hex digest of ``data``'s canonical JSON form.
+
+    Canonical means sorted keys and compact separators, so two dicts that
+    differ only in key insertion order fingerprint identically.  This is the
+    identity resumable sweeps key on: a point already recorded under a
+    fingerprint is never re-executed.
+    """
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def _check_signature(component, kwargs: dict, what: str, seed_injected: bool) -> None:
@@ -189,6 +202,16 @@ class ScenarioSpec:
     def with_overrides(self, **overrides) -> "ScenarioSpec":
         """Return a copy with the given fields replaced (sweeps/CLI helper)."""
         return replace(self, **overrides)
+
+    def fingerprint(self) -> str:
+        """Return the spec's canonical-JSON SHA-256 identity.
+
+        Two specs fingerprint identically iff they are equal as dataclasses
+        — kwargs key order does not matter, every field value does.  Streamed
+        sweep directories index completed points by this value, which is what
+        makes resumption safe: a changed spec is a different point.
+        """
+        return canonical_fingerprint(self.to_dict())
 
     # -- compilation and execution -------------------------------------------
 

@@ -1,0 +1,268 @@
+"""Durable, crash-resumable sweep directories.
+
+A streamed sweep writes one directory::
+
+    <dir>/0003-<slug>.jsonl    one JSONL artifact per completed point
+    <dir>/index.jsonl          append-only completion log (one line per point)
+    <dir>/MANIFEST.json        canonical manifest, written on completion
+
+Durability protocol, per finished point:
+
+1. the artifact is written to a hidden temp file, flushed and fsync'd,
+2. the temp file is atomically renamed to its final name (and the directory
+   entry fsync'd), then
+3. an index line ``{"index", "fingerprint", "artifact", "label"}`` is
+   appended to ``index.jsonl`` and fsync'd.
+
+An index line therefore *implies* a complete artifact: a crash between (2)
+and (3) leaves a finished artifact that is simply re-run on resume — and
+because artifact bytes are a pure function of the spec
+(:func:`~repro.scenarios.artifacts.run_lines`), the re-run overwrites it with
+identical content.  ``index.jsonl`` records completion order, which differs
+between serial, parallel and resumed executions; the canonical, byte-stable
+view of a finished sweep is the artifact files plus ``MANIFEST.json``.
+
+Resumption keys on :meth:`~repro.scenarios.spec.ScenarioSpec.fingerprint`
+(canonical-JSON SHA-256): a point is skipped iff its fingerprint appears in
+the index *and* its artifact file is still present with exactly the recorded
+bytes (the index line also carries a whole-file SHA-256).  Torn tail writes
+in the index (a crash mid-append) are tolerated and ignored.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.scenarios.artifacts import artifact_name, run_lines
+from repro.scenarios.runner import RunRecord
+from repro.scenarios.spec import canonical_fingerprint
+from repro.util.validation import require
+
+INDEX_NAME = "index.jsonl"
+MANIFEST_NAME = "MANIFEST.json"
+
+
+def _fsync_directory(directory: Path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+
+    POSIX-only: Windows neither allows opening a directory with os.open nor
+    needs the directory-entry fsync for rename durability, so this step is
+    simply skipped there (the file-content fsyncs still apply).
+    """
+    if os.name == "nt":  # pragma: no cover - POSIX CI
+        return
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _write_durable(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via fsync'd temp file + atomic rename."""
+    temp = path.parent / f".tmp-{path.name}"
+    with temp.open("w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    # os.replace, not Path.rename: a resume re-running a point whose artifact
+    # survived an earlier crash must overwrite it on every platform
+    # (Path.rename raises FileExistsError on Windows).
+    os.replace(temp, path)
+    _fsync_directory(path.parent)
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Outcome of a streamed (possibly resumed) :func:`run_scenarios` call.
+
+    ``paths`` lists every point's artifact in submission order — both the
+    freshly executed and the resumed-over points, so downstream code does not
+    care which were which.  ``executed + skipped == len(paths)``.
+    """
+
+    directory: Path
+    paths: list
+    executed: int
+    skipped: int
+
+    @property
+    def total(self) -> int:
+        """Return the number of points in the sweep."""
+        return len(self.paths)
+
+    @property
+    def index_path(self) -> Path:
+        """Return the append-only completion log's path."""
+        return self.directory / INDEX_NAME
+
+    @property
+    def manifest_path(self) -> Path:
+        """Return the canonical manifest's path."""
+        return self.directory / MANIFEST_NAME
+
+
+class SweepStream:
+    """One streamed sweep directory: durable writes, resumable reads."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._index_handle = None
+        # Entries recorded by *this* stream object — trusted without
+        # re-reading the files back (we just wrote and fsync'd them), so
+        # finalizing a fresh run never rescans the directory.
+        self._recorded: dict[str, dict] = {}
+
+    @property
+    def index_path(self) -> Path:
+        """Return the path of the append-only index file."""
+        return self.directory / INDEX_NAME
+
+    @property
+    def manifest_path(self) -> Path:
+        """Return the path of the canonical manifest file."""
+        return self.directory / MANIFEST_NAME
+
+    # -- writing --------------------------------------------------------------
+
+    def record(self, index: int, record: RunRecord) -> Path:
+        """Durably persist one finished point; return its artifact path.
+
+        Appends nothing until the artifact itself is safely on disk — see the
+        module docstring for the crash-ordering argument.
+        """
+        fingerprint = record.spec.fingerprint()
+        path = self.directory / artifact_name(index, record.spec.label)
+        text = "\n".join(run_lines(record)) + "\n"
+        _write_durable(path, text)
+        entry = {
+            "index": index,
+            "fingerprint": fingerprint,
+            "artifact": path.name,
+            "label": record.spec.label,
+            "sha256": hashlib.sha256(text.encode("utf-8")).hexdigest(),
+        }
+        if self._index_handle is None:
+            self._index_handle = self.index_path.open("a", encoding="utf-8")
+        self._index_handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._index_handle.flush()
+        os.fsync(self._index_handle.fileno())
+        self._recorded[fingerprint] = entry
+        return path
+
+    def close(self) -> None:
+        """Close the index handle (idempotent)."""
+        if self._index_handle is not None:
+            self._index_handle.close()
+            self._index_handle = None
+
+    def __enter__(self) -> "SweepStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- resuming -------------------------------------------------------------
+
+    def completed(self) -> dict:
+        """Return ``fingerprint -> index entry`` for every verified point.
+
+        A point counts as completed only if its index line parses, its
+        artifact file exists with the recorded whole-file SHA-256, and the
+        artifact's first (spec) line fingerprints to the index entry's
+        fingerprint — so deleting or tampering with an artifact (any line of
+        it) re-runs exactly that point.  Unparseable index lines (torn tail
+        writes from a crash) are ignored.
+        """
+        entries: dict[str, dict] = {}
+        if not self.index_path.exists():
+            return entries
+        for line in self.index_path.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(entry, dict) or "fingerprint" not in entry:
+                continue
+            if self._artifact_matches(entry):
+                entries[entry["fingerprint"]] = entry
+        return entries
+
+    def _artifact_matches(self, entry: dict) -> bool:
+        """Verify the entry's artifact exists with exactly the recorded bytes.
+
+        The whole-file hash catches tampering anywhere in the artifact, not
+        just the spec line; the spec-line fingerprint check additionally ties
+        the file to the *point* (a foreign artifact renamed into place fails
+        even if internally consistent).
+        """
+        artifact = self.directory / str(entry.get("artifact", ""))
+        if not artifact.is_file():
+            return False
+        try:
+            data = artifact.read_bytes()
+            first = json.loads(data.split(b"\n", 1)[0])
+        except (OSError, json.JSONDecodeError):
+            return False
+        if hashlib.sha256(data).hexdigest() != entry.get("sha256"):
+            return False
+        if first.get("kind") != "spec":
+            return False
+        return canonical_fingerprint(first.get("data", {})) == entry["fingerprint"]
+
+    # -- finishing ------------------------------------------------------------
+
+    def finalize(self, specs, verified: dict | None = None) -> list:
+        """Write ``MANIFEST.json`` for a fully recorded sweep; return its entries.
+
+        The manifest lists every point in submission order with its
+        fingerprint and artifact name — a deterministic function of the spec
+        list alone, so serial, parallel and resumed runs of the same sweep
+        produce byte-identical manifests.  Raises if any point is missing
+        (the sweep is not actually finished).
+
+        ``verified`` is the ``fingerprint -> entry`` map of pre-existing
+        points already checked by :meth:`completed` (the resume path passes
+        the map it scanned before executing); entries recorded by this
+        stream object are trusted as-is.  When ``verified`` is omitted the
+        directory is scanned — only then does finalizing re-read artifacts.
+        """
+        completed = dict(self.completed() if verified is None else verified)
+        completed.update(self._recorded)
+        entries = []
+        missing = []
+        for index, spec in enumerate(specs):
+            fingerprint = spec.fingerprint()
+            if fingerprint not in completed:
+                missing.append(index)
+                continue
+            # The recorded artifact name normally equals
+            # artifact_name(index, spec.label); it differs only when a resume
+            # reordered the spec list, and then the recorded name is the one
+            # that exists on disk.
+            entries.append(
+                {
+                    "index": index,
+                    "fingerprint": fingerprint,
+                    "artifact": completed[fingerprint]["artifact"],
+                    "label": spec.label,
+                    "sha256": completed[fingerprint].get("sha256"),
+                }
+            )
+        require(
+            not missing,
+            f"cannot finalize sweep stream at {self.directory}: "
+            f"points {missing} have no recorded artifact",
+        )
+        manifest = {"points": len(entries), "entries": entries}
+        _write_durable(
+            self.manifest_path, json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+        return entries

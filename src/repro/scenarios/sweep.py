@@ -22,7 +22,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field, fields
 
-from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.spec import ScenarioSpec, canonical_fingerprint
 from repro.util.rng import derive_seed
 from repro.util.validation import require
 
@@ -142,6 +142,15 @@ class SweepSpec:
                 overrides["seed"] = derive_seed(self.base.seed, "sweep", canonical)
             specs.append(spec.with_overrides(**overrides))
         return specs
+
+    def fingerprint(self) -> str:
+        """Return the sweep's canonical-JSON SHA-256 identity.
+
+        Stable across axis *authoring* order (dict key order is canonicalized
+        away); axis *value* order is semantic — it sets the grid order and
+        point names — and therefore changes the fingerprint.
+        """
+        return canonical_fingerprint(self.to_dict())
 
     # -- serialization --------------------------------------------------------
 

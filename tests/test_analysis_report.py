@@ -1,0 +1,169 @@
+"""`repro report` aggregation: golden-file regression + unit coverage.
+
+The golden fixtures live in ``tests/golden/``: ``report_sweep/`` is a small
+checked-in streamed sweep directory, ``report_expected/`` the exact files
+``generate_report`` must render from it.  The comparison is byte-for-byte,
+so report formatting changes are deliberate — rerun
+``scripts/regen_report_golden.py`` and review the diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import (
+    detect_axes,
+    flatten_dotted,
+    generate_report,
+    scan_artifact_paths,
+)
+from repro.scenarios.cli import main as cli_main
+from repro.util.validation import ValidationError
+
+GOLDEN = Path(__file__).parent / "golden"
+SWEEP_DIR = GOLDEN / "report_sweep"
+EXPECTED_DIR = GOLDEN / "report_expected"
+
+
+def test_report_matches_golden_files(tmp_path):
+    report = generate_report(SWEEP_DIR, out_dir=tmp_path)
+    assert report.markdown == (EXPECTED_DIR / "report.md").read_text(encoding="utf-8")
+    for name in ("report.md", "summary.csv", "timeline.csv"):
+        produced = (tmp_path / name).read_bytes()
+        expected = (EXPECTED_DIR / name).read_bytes()
+        assert produced == expected, f"{name} deviates from the golden file"
+    assert [path.name for path in report.written] == [
+        "report.md",
+        "summary.csv",
+        "timeline.csv",
+    ]
+
+
+def test_report_detects_the_sweep_axes():
+    report = generate_report(SWEEP_DIR)
+    assert list(report.axes) == ["healer", "timesteps"]
+    assert report.axes["healer"] == ["no-heal", "xheal"]
+    assert report.axes["timesteps"] == [3, 5]
+    assert len(report.points) == 4
+
+
+def test_cli_report_prints_markdown_and_writes_out(tmp_path, capsys):
+    assert cli_main(["report", str(SWEEP_DIR), "--out", str(tmp_path / "out")]) == 0
+    captured = capsys.readouterr()
+    assert captured.out == (EXPECTED_DIR / "report.md").read_text(encoding="utf-8")
+    assert "wrote" in captured.err
+    assert (tmp_path / "out" / "summary.csv").exists()
+
+
+def test_cli_report_no_timeline_flag(capsys):
+    assert cli_main(["report", str(SWEEP_DIR), "--no-timeline"]) == 0
+    assert "## Timelines" not in capsys.readouterr().out
+
+
+def test_scan_prefers_manifest_order_and_falls_back_to_sorted(tmp_path):
+    paths = scan_artifact_paths(SWEEP_DIR)
+    manifest = json.loads((SWEEP_DIR / "MANIFEST.json").read_text())
+    assert [path.name for path in paths] == [e["artifact"] for e in manifest["entries"]]
+
+    # Without a manifest: sorted *.jsonl, with the stream index excluded.
+    for path in paths:
+        (tmp_path / path.name).write_bytes(path.read_bytes())
+    (tmp_path / "index.jsonl").write_text("{}\n")
+    fallback = scan_artifact_paths(tmp_path)
+    assert [path.name for path in fallback] == sorted(path.name for path in paths)
+
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(ValidationError, match="no run artifacts"):
+        scan_artifact_paths(empty)
+    with pytest.raises(ValidationError, match="not a sweep directory"):
+        scan_artifact_paths(tmp_path / "missing")
+
+
+def test_report_without_manifest_matches_golden_markdown(tmp_path):
+    # A hand-assembled directory (no MANIFEST.json, no index.jsonl) whose
+    # sorted-name order equals the sweep's submission order reports the same.
+    for path in SWEEP_DIR.glob("*.jsonl"):
+        if path.name != "index.jsonl":
+            (tmp_path / path.name).write_bytes(path.read_bytes())
+    report = generate_report(tmp_path)
+    golden_body = (EXPECTED_DIR / "report.md").read_text(encoding="utf-8")
+    # Only the directory name in the title differs.
+    assert report.markdown.splitlines()[1:] == golden_body.splitlines()[1:]
+
+
+def test_scan_ignores_crash_leftover_temp_files(tmp_path):
+    """A killed stream may leave .tmp-* partials; report must skip them."""
+    for path in SWEEP_DIR.glob("*.jsonl"):
+        if path.name != "index.jsonl":
+            (tmp_path / path.name).write_bytes(path.read_bytes())
+    (tmp_path / ".tmp-0004-partial.jsonl").write_text('{"kind": "spec", "da')  # torn write
+    paths = scan_artifact_paths(tmp_path)
+    assert all(not path.name.startswith(".") for path in paths)
+    report = generate_report(tmp_path)
+    assert len(report.points) == 4
+
+
+def test_axis_with_missing_key_gets_an_explicit_group(tmp_path):
+    """Hand-assembled dirs can mix kwargs shapes; nothing may vanish."""
+    import json as json_module
+
+    sources = sorted(p for p in SWEEP_DIR.glob("*.jsonl") if p.name != "index.jsonl")
+    for index, path in enumerate(sources[:3]):
+        lines = path.read_text().splitlines()
+        spec_line = json_module.loads(lines[0])
+        spec_line["data"]["name"] = f"point-{index}"
+        if index < 2:
+            spec_line["data"]["healer_kwargs"] = {"kappa": 2 + 2 * index}
+        else:
+            spec_line["data"]["healer_kwargs"] = {}
+        (tmp_path / path.name).write_text(
+            "\n".join([json_module.dumps(spec_line, sort_keys=True)] + lines[1:]) + "\n"
+        )
+    report = generate_report(tmp_path)
+    assert "healer_kwargs.kappa" in report.axes
+    section = report.markdown.split("## Axis: `healer_kwargs.kappa`")[1].split("\n## ")[0]
+    assert "(missing)" in section
+    # Per-axis point counts sum to the directory total.
+    counts = [
+        int(line.split("|")[2].strip())
+        for line in section.splitlines()
+        if line.startswith("|") and "---" not in line and "points" not in line
+    ]
+    assert sum(counts) == 3
+
+
+def test_flatten_dotted_and_detect_axes_units():
+    assert flatten_dotted({"a": {"b": {"c": 1}}, "d": [1, 2]}) == {"a.b.c": 1, "d": [1, 2]}
+
+    class Point:
+        def __init__(self, spec_flat):
+            self.spec_flat = spec_flat
+
+    points = [
+        Point({"name": "p0", "kappa": 2, "healer": "xheal", "seed": 1}),
+        Point({"name": "p1", "kappa": 4, "healer": "xheal", "seed": 1}),
+    ]
+    axes = detect_axes(points)
+    # `name` always varies and is never an axis; constants are dropped.
+    assert axes == {"kappa": [2, 4]}
+
+
+def test_report_is_memory_bounded(monkeypatch):
+    """The reader must stream lines, never load whole artifact files."""
+    import repro.analysis.report as report_module
+
+    forbidden_reads = []
+    original = Path.read_text
+
+    def spy(self, *args, **kwargs):
+        if self.suffix == ".jsonl" and self.name != "MANIFEST.json":
+            forbidden_reads.append(self.name)
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(Path, "read_text", spy)
+    report_module.generate_report(SWEEP_DIR)
+    assert forbidden_reads == []

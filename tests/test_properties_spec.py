@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) for the scenario spec layer.
+
+ISSUE 3 satellite: random ``ScenarioSpec``/``SweepSpec`` values round-trip
+``to_json``/``from_json`` exactly, fingerprints are canonical (stable across
+dict insertion orders, sensitive to every field value), and ``derive_seed``
+separates roles — the healer, adversary, topology and sweep streams derived
+from one base seed never collide.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import ScenarioSpec, SweepSpec, list_adversaries, list_healers, list_topologies
+from repro.scenarios.spec import canonical_fingerprint
+from repro.util.rng import derive_seed
+from repro.util.validation import ValidationError
+
+FAST = settings(max_examples=60, deadline=None)
+
+#: Roles the spec layer derives independent seeds for (see
+#: ScenarioSpec.component_kwargs and SweepSpec.expand).
+SEED_ROLES = ("healer", "adversary", "topology", "sweep")
+
+# JSON-native scalars whose Python values round-trip json.dumps/loads
+# exactly (NaN breaks equality; floats otherwise round-trip via repr).
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=8),
+)
+_json_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(st.text(max_size=6), children, max_size=3),
+    ),
+    max_leaves=8,
+)
+_kwargs = st.dictionaries(st.text(min_size=1, max_size=10), _json_values, max_size=4)
+
+
+@st.composite
+def scenario_specs(draw) -> ScenarioSpec:
+    """Random specs over the real registries (not necessarily *valid* ones —
+    serialization must be exact regardless of component signatures)."""
+    return ScenarioSpec(
+        healer=draw(st.sampled_from(list_healers())),
+        adversary=draw(st.sampled_from(list_adversaries())),
+        topology=draw(st.sampled_from(list_topologies())),
+        healer_kwargs=draw(_kwargs),
+        adversary_kwargs=draw(_kwargs),
+        topology_kwargs=draw(_kwargs),
+        name=draw(st.none() | st.text(max_size=12)),
+        timesteps=draw(st.integers(min_value=1, max_value=10**6)),
+        metric_every=draw(st.integers(min_value=0, max_value=100)),
+        kappa=draw(st.integers(min_value=1, max_value=64)),
+        check_invariants_every=draw(st.integers(min_value=0, max_value=100)),
+        exact_expansion_limit=draw(st.integers(min_value=0, max_value=30)),
+        stretch_sample_pairs=draw(st.none() | st.integers(min_value=1, max_value=1000)),
+        seed=draw(st.integers(min_value=0, max_value=2**63)),
+    )
+
+
+@st.composite
+def sweep_specs(draw) -> SweepSpec:
+    axes = draw(
+        st.dictionaries(
+            st.sampled_from(
+                ["timesteps", "kappa", "seed", "healer_kwargs.kappa", "topology_kwargs.n"]
+            ),
+            st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=3),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    return SweepSpec(
+        base=draw(scenario_specs()),
+        axes=axes,
+        name=draw(st.none() | st.text(max_size=12)),
+        derive_seeds=draw(st.booleans()),
+    )
+
+
+@FAST
+@given(scenario_specs())
+def test_scenario_spec_round_trips_exactly(spec):
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
+    # And through a second parse of the canonical document (idempotent).
+    rebuilt = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert rebuilt == spec
+    assert rebuilt.to_json() == spec.to_json()
+
+
+@FAST
+@given(sweep_specs())
+def test_sweep_spec_round_trips_exactly(sweep):
+    assert SweepSpec.from_json(sweep.to_json()) == sweep
+
+
+@FAST
+@given(scenario_specs(), st.integers(min_value=0, max_value=10**6))
+def test_fingerprint_is_stable_across_kwargs_orderings(spec, shuffle_seed):
+    import random
+
+    def reordered(mapping: dict) -> dict:
+        keys = list(mapping)
+        random.Random(shuffle_seed).shuffle(keys)
+        return {key: mapping[key] for key in keys}
+
+    permuted = spec.with_overrides(
+        healer_kwargs=reordered(spec.healer_kwargs),
+        adversary_kwargs=reordered(spec.adversary_kwargs),
+        topology_kwargs=reordered(spec.topology_kwargs),
+    )
+    assert permuted == spec  # dict equality ignores insertion order...
+    assert permuted.fingerprint() == spec.fingerprint()  # ...and so must identity
+
+
+@FAST
+@given(sweep_specs(), st.integers(min_value=0, max_value=10**6))
+def test_sweep_fingerprint_is_stable_across_axis_orderings(sweep, shuffle_seed):
+    import random
+
+    keys = list(sweep.axes)
+    random.Random(shuffle_seed).shuffle(keys)
+    permuted = SweepSpec(
+        base=sweep.base,
+        axes={key: sweep.axes[key] for key in keys},
+        name=sweep.name,
+        derive_seeds=sweep.derive_seeds,
+    )
+    assert permuted.fingerprint() == sweep.fingerprint()
+    # Point order is canonical too (sorted axis keys), so the expanded grids
+    # — and hence the streamed artifact sets — are identical.  (Random specs
+    # need not pass component validation; expansion only applies to those
+    # that do.)
+    try:
+        expected = [s.to_json() for s in sweep.expand()]
+    except ValidationError:
+        return
+    assert [s.to_json() for s in permuted.expand()] == expected
+
+
+@FAST
+@given(scenario_specs())
+def test_fingerprint_changes_with_any_field(spec):
+    assert spec.fingerprint() == ScenarioSpec.from_json(spec.to_json()).fingerprint()
+    perturbed = [
+        spec.with_overrides(seed=spec.seed + 1),
+        spec.with_overrides(timesteps=spec.timesteps + 1),
+        spec.with_overrides(name=(spec.name or "") + "x"),
+        spec.with_overrides(healer_kwargs={**spec.healer_kwargs, "kappa": -1}),
+    ]
+    fingerprints = {spec.fingerprint()} | {other.fingerprint() for other in perturbed}
+    assert len(fingerprints) == 1 + len(perturbed)
+
+
+@FAST
+@given(st.dictionaries(st.text(max_size=6), st.integers(), max_size=3))
+def test_canonical_fingerprint_ignores_key_order(mapping):
+    reversed_order = dict(reversed(list(mapping.items())))
+    assert canonical_fingerprint(reversed_order) == canonical_fingerprint(mapping)
+
+
+@FAST
+@given(st.integers(min_value=0, max_value=2**63))
+def test_derive_seed_never_collides_across_roles(base_seed):
+    derived = [derive_seed(base_seed, role) for role in SEED_ROLES]
+    assert len(set(derived)) == len(SEED_ROLES)
+    # Roles are independent of the base stream itself too.
+    assert base_seed not in derived
+
+
+@FAST
+@given(st.integers(min_value=0, max_value=2**63), st.text(max_size=10))
+def test_derive_seed_sweep_assignments_do_not_collide_with_roles(base_seed, canonical):
+    point_seed = derive_seed(base_seed, "sweep", canonical)
+    for role in SEED_ROLES:
+        assert point_seed != derive_seed(base_seed, role)

@@ -1,0 +1,110 @@
+"""Entry-point plugin loading: third-party registry extension without imports."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.scenarios.registry as registry_module
+from repro.core.xheal import Xheal
+from repro.scenarios.registry import ADVERSARIES, HEALERS, TOPOLOGIES
+
+
+class FakeEntryPoint:
+    """Stands in for importlib.metadata.EntryPoint (name + load())."""
+
+    def __init__(self, name, target):
+        self.name = name
+        self._target = target
+
+    def load(self):
+        if isinstance(self._target, Exception):
+            raise self._target
+        return self._target
+
+
+class PluginHealer:
+    """A third-party healer class, never imported by any provider module."""
+
+    def __init__(self, kappa: int = 4, seed: int = 0):
+        self.kappa, self.seed = kappa, seed
+
+
+@pytest.fixture
+def entry_point_world(monkeypatch):
+    """Install fake entry points and force one repopulation pass.
+
+    Registration survives in the module-level registries, so the fixture
+    removes whatever the test added afterwards.
+    """
+    added: list[tuple[registry_module.Registry, str]] = []
+
+    def install(groups: dict) -> None:
+        monkeypatch.setattr(
+            registry_module,
+            "_iter_entry_points",
+            lambda group: tuple(groups.get(group, ())),
+        )
+        monkeypatch.setattr(registry_module, "_populated", False)
+        for registry in (HEALERS, ADVERSARIES, TOPOLOGIES):
+            before = set(registry._entries)
+            registry.names()  # triggers _ensure_populated -> plugin loading
+            added.extend((registry, name) for name in set(registry._entries) - before)
+
+    yield install
+    for registry, name in added:
+        registry._entries.pop(name, None)
+    registry_module._populated = True
+
+
+def test_component_entry_points_register_under_their_name(entry_point_world):
+    entry_point_world({"repro.healers": [FakeEntryPoint("plugin-healer", PluginHealer)]})
+    assert "plugin-healer" in HEALERS.names()
+    assert HEALERS.get("plugin-healer") is PluginHealer
+
+
+def test_plugin_group_entries_are_load_only(entry_point_world):
+    loaded = []
+    entry_point_world(
+        {"repro.plugins": [FakeEntryPoint("side-effects", lambda: loaded.append("x"))]}
+    )
+    # Load-only groups never touch the registries; the object was loaded
+    # (imported), which is where a real plugin's @register_* decorators run.
+    assert "side-effects" not in HEALERS.names()
+
+
+def test_redeclaring_a_builtin_is_a_noop(entry_point_world):
+    entry_point_world({"repro.healers": [FakeEntryPoint("xheal", Xheal)]})
+    assert HEALERS.get("xheal") is Xheal
+
+
+def test_conflicting_and_broken_entry_points_warn_but_do_not_break(entry_point_world):
+    broken = FakeEntryPoint("exploder", RuntimeError("boom"))
+    conflicting = FakeEntryPoint("xheal", PluginHealer)  # name taken by a different class
+    good = FakeEntryPoint("still-works", PluginHealer)
+    with pytest.warns(RuntimeWarning) as warned:
+        entry_point_world({"repro.healers": [broken, conflicting, good]})
+    messages = [str(w.message) for w in warned]
+    assert any("exploder" in message for message in messages)
+    assert any("xheal" in message for message in messages)
+    # The registry survives: built-in intact, good plugin registered.
+    assert HEALERS.get("xheal") is Xheal
+    assert HEALERS.get("still-works") is PluginHealer
+
+
+def test_spec_compiles_a_plugin_healer_by_name(entry_point_world):
+    from repro.scenarios import ScenarioSpec
+
+    entry_point_world({"repro.healers": [FakeEntryPoint("plugin-healer", PluginHealer)]})
+    spec = ScenarioSpec(
+        healer="plugin-healer",
+        topology="random-regular",
+        topology_kwargs={"n": 8, "degree": 3},
+        timesteps=1,
+    )
+    config = spec.compile()
+    healer = config.healer_factory()
+    assert isinstance(healer, PluginHealer)
+    # The run-parameter kappa and a derived seed were injected, as for any
+    # kappa/seed-aware registered healer.
+    assert healer.kappa == spec.kappa
+    assert healer.seed != spec.seed

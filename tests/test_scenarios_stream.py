@@ -1,0 +1,203 @@
+"""Streaming sweeps: durability, crash-resume differentials, byte-identity.
+
+The contract under test (ISSUE 3 tentpole): a sweep interrupted after ``k``
+of ``n`` points resumes with exactly ``n - k`` executions, and the final
+artifact set — point JSONL files plus ``MANIFEST.json`` — is byte-identical
+to an uninterrupted run, serial or parallel.  ``index.jsonl`` is the
+append-only completion log and is deliberately excluded from the identity
+(it records completion order, which crashes and worker counts change).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import ScenarioSpec, SweepSpec, run_scenarios
+from repro.scenarios.artifacts import save_run
+from repro.scenarios.runner import execute_spec
+from repro.scenarios.stream import INDEX_NAME, MANIFEST_NAME, SweepStream
+from repro.util.validation import ValidationError
+
+BASE = ScenarioSpec(
+    name="stream-test",
+    healer="xheal",
+    healer_kwargs={"kappa": 4},
+    adversary="random",
+    adversary_kwargs={"delete_probability": 0.6},
+    topology="random-regular",
+    topology_kwargs={"n": 16, "degree": 4},
+    timesteps=5,
+    metric_every=3,
+    exact_expansion_limit=0,
+    stretch_sample_pairs=20,
+    seed=3,
+)
+
+SWEEP = SweepSpec(base=BASE, axes={"timesteps": [3, 5], "healer_kwargs.kappa": [2, 4]})
+
+
+def canonical_files(directory: Path) -> dict[str, bytes]:
+    """The byte-identity surface: everything except the completion log."""
+    return {
+        path.name: path.read_bytes()
+        for path in Path(directory).iterdir()
+        if path.name != INDEX_NAME
+    }
+
+
+def test_streamed_artifacts_match_buffered_save_run(tmp_path):
+    specs = SWEEP.expand()
+    result = run_scenarios(specs, stream_to=tmp_path / "stream")
+    assert result.executed == len(specs) and result.skipped == 0
+    assert [p.name for p in result.paths] == sorted(p.name for p in result.paths)
+    for index, spec in enumerate(specs):
+        buffered = save_run(execute_spec(spec), tmp_path / f"buffered-{index}.jsonl")
+        assert buffered.read_bytes() == result.paths[index].read_bytes()
+
+
+def test_parallel_stream_identical_to_serial(tmp_path):
+    specs = SWEEP.expand()
+    serial = run_scenarios(specs, workers=1, stream_to=tmp_path / "serial")
+    parallel = run_scenarios(specs, workers=3, stream_to=tmp_path / "parallel")
+    assert serial.total == parallel.total == len(specs)
+    assert canonical_files(serial.directory) == canonical_files(parallel.directory)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_resume_after_partial_run_executes_exactly_the_missing_points(tmp_path, workers):
+    specs = SWEEP.expand()
+    n, k = len(specs), 2
+    full = run_scenarios(specs, workers=workers, stream_to=tmp_path / "full")
+
+    # "Crash" after k points: stream only a prefix, then resume the full grid.
+    run_scenarios(specs[:k], stream_to=tmp_path / "crash")
+    resumed = run_scenarios(specs, workers=workers, resume=tmp_path / "crash")
+    assert resumed.executed == n - k
+    assert resumed.skipped == k
+    assert canonical_files(full.directory) == canonical_files(resumed.directory)
+
+
+def test_resume_counts_real_executions(tmp_path, monkeypatch):
+    """The n-k guarantee counts actual execute_spec calls, not bookkeeping."""
+    import repro.scenarios.runner as runner_module
+
+    specs = SWEEP.expand()
+    run_scenarios(specs[:3], stream_to=tmp_path / "dir")
+    calls = []
+    real = runner_module.execute_spec
+    monkeypatch.setattr(
+        runner_module, "execute_spec", lambda spec: calls.append(spec.name) or real(spec)
+    )
+    result = run_scenarios(specs, resume=tmp_path / "dir")
+    assert calls == [spec.name for spec in specs[3:]]
+    assert result.executed == len(specs) - 3
+
+
+def test_resume_after_artifact_deletion_reruns_only_that_point(tmp_path):
+    specs = SWEEP.expand()
+    full = run_scenarios(specs, stream_to=tmp_path / "full")
+    victim = full.paths[1]
+    reference = victim.read_bytes()
+    victim.unlink()
+    resumed = run_scenarios(specs, resume=tmp_path / "full")
+    assert resumed.executed == 1 and resumed.skipped == len(specs) - 1
+    assert victim.read_bytes() == reference
+
+
+def test_resume_tolerates_torn_index_tail_and_tampered_artifact(tmp_path):
+    specs = SWEEP.expand()
+    full = run_scenarios(specs, stream_to=tmp_path / "full")
+    pristine = canonical_files(full.directory)
+
+    # Simulate a crash mid-append: garbage half-line at the index tail.
+    index = full.index_path
+    index.write_bytes(index.read_bytes() + b'{"index": 99, "finger')
+    # And a tampered artifact whose spec no longer matches its fingerprint.
+    tampered = full.paths[0]
+    lines = tampered.read_text().splitlines()
+    spec_line = json.loads(lines[0])
+    spec_line["data"]["seed"] = 999
+    tampered.write_text("\n".join([json.dumps(spec_line, sort_keys=True)] + lines[1:]) + "\n")
+
+    resumed = run_scenarios(specs, resume=tmp_path / "full")
+    assert resumed.executed == 1 and resumed.skipped == len(specs) - 1
+    assert canonical_files(resumed.directory) == pristine
+
+
+def test_resume_detects_tampering_beyond_the_spec_line(tmp_path):
+    """The index's whole-file hash catches a flipped digit anywhere."""
+    specs = SWEEP.expand()
+    full = run_scenarios(specs, stream_to=tmp_path / "full")
+    pristine = canonical_files(full.directory)
+
+    tampered = full.paths[2]
+    lines = tampered.read_text().splitlines()
+    summary_line = json.loads(lines[1])
+    assert summary_line["kind"] == "summary"
+    summary_line["data"]["edges"] += 1
+    tampered.write_text("\n".join([lines[0], json.dumps(summary_line, sort_keys=True)] + lines[2:]) + "\n")
+
+    resumed = run_scenarios(specs, resume=tmp_path / "full")
+    assert resumed.executed == 1 and resumed.skipped == len(specs) - 1
+    assert canonical_files(resumed.directory) == pristine
+
+
+def test_resume_with_a_different_sweep_warns_about_orphan_points(tmp_path):
+    """Resuming the wrong directory must be loud, not silently mixed."""
+    specs = SWEEP.expand()
+    run_scenarios(specs[:2], stream_to=tmp_path / "dir")
+    other = [BASE.with_overrides(name="other-sweep", timesteps=4)]
+    with pytest.warns(RuntimeWarning, match="not part of this sweep"):
+        result = run_scenarios(other, resume=tmp_path / "dir")
+    assert result.executed == 1
+    # The manifest covers only the resumed grid; orphan artifacts survive.
+    manifest = json.loads(result.manifest_path.read_text())
+    assert manifest["points"] == 1
+    assert len(list((tmp_path / "dir").glob("0*.jsonl"))) == 3
+
+
+def test_stream_to_refuses_to_clobber_an_existing_stream(tmp_path):
+    specs = SWEEP.expand()
+    run_scenarios(specs[:1], stream_to=tmp_path / "dir")
+    with pytest.raises(ValidationError, match="resume"):
+        run_scenarios(specs, stream_to=tmp_path / "dir")
+
+
+def test_streamed_sweep_rejects_duplicate_points(tmp_path):
+    spec = BASE.with_overrides(timesteps=3)
+    with pytest.raises(ValidationError, match="duplicate fingerprints"):
+        run_scenarios([spec, spec], stream_to=tmp_path / "dir")
+    # The buffered path still allows duplicates (no identity to collide on).
+    records = run_scenarios([spec, spec])
+    assert records[0] == records[1]
+
+
+def test_finalize_refuses_incomplete_stream(tmp_path):
+    specs = SWEEP.expand()
+    stream = SweepStream(tmp_path / "dir")
+    stream.record(0, execute_spec(specs[0]))
+    stream.close()
+    with pytest.raises(ValidationError, match="no recorded artifact"):
+        stream.finalize(specs)
+    assert not (tmp_path / "dir" / MANIFEST_NAME).exists()
+
+
+def test_manifest_lists_points_in_submission_order(tmp_path):
+    specs = SWEEP.expand()
+    result = run_scenarios(specs, workers=2, stream_to=tmp_path / "dir")
+    manifest = json.loads(result.manifest_path.read_text())
+    assert manifest["points"] == len(specs)
+    assert [entry["index"] for entry in manifest["entries"]] == list(range(len(specs)))
+    assert [entry["fingerprint"] for entry in manifest["entries"]] == [
+        spec.fingerprint() for spec in specs
+    ]
+
+
+def test_buffered_path_unchanged(tmp_path):
+    """No stream args -> the PR-2 contract: list[RunRecord] in spec order."""
+    specs = SWEEP.expand()[:2]
+    records = run_scenarios(specs)
+    assert [record.spec for record in records] == specs
