@@ -4,12 +4,19 @@ PR 2's ``run_scenarios`` buffered every record in memory and a crash lost
 everything.  This walkthrough shows the streaming path end to end:
 
 1. stream a sweep to a directory — each finished point lands on disk
-   (fsync'd JSONL artifact + index line) the moment it completes,
+   (fsync'd artifact + index line, gzip-compressed here) the moment it
+   completes, with its wall clock recorded in the index,
 2. simulate a crash partway through (here: run only a prefix of the grid),
 3. resume — every expanded spec is fingerprinted (canonical-JSON SHA-256)
    and only the points the directory does not record are executed,
-4. verify the resumed directory is byte-identical to an uninterrupted run,
-5. aggregate the artifacts into per-axis tables with the report generator.
+   scheduled most-expensive-first from the recorded costs (compression is
+   auto-detected, nothing needs to be re-specified),
+4. verify the resumed directory is byte-identical to an uninterrupted run
+   (manifests compared through ``strip_costs`` — the wall-clock columns are
+   the one legitimately nondeterministic part),
+5. aggregate the artifacts into per-axis and per-replicate tables with the
+   report generator (``watch_report`` is the live-tail variant of step 5
+   for sweeps still running).
 
 Run with::
 
@@ -17,19 +24,21 @@ Run with::
 
 The shell equivalent is::
 
-    python -m repro sweep examples/specs/resume_smoke_sweep.json --stream-to out/
-    # ... crash / ^C / power loss ...
-    python -m repro sweep examples/specs/resume_smoke_sweep.json --resume out/
-    python -m repro report out/
+    python -m repro sweep sweep.json --stream-to out/ --compress --replicates 2
+    # ... crash / ^C / power loss ...   meanwhile, in another terminal:
+    python -m repro report out/ --watch
+    python -m repro sweep sweep.json --resume out/ --replicates 2
+    python -m repro report out/ --ci
 """
 
 from __future__ import annotations
 
+import json
 import tempfile
 from pathlib import Path
 
 from repro.analysis.report import generate_report
-from repro.scenarios import ScenarioSpec, SweepSpec, run_scenarios
+from repro.scenarios import ScenarioSpec, SweepSpec, run_scenarios, strip_costs
 
 BASE = ScenarioSpec(
     name="long-sweep",
@@ -48,16 +57,22 @@ BASE = ScenarioSpec(
 SWEEP = SweepSpec(
     base=BASE,
     axes={"healer_kwargs.kappa": [2, 4], "timesteps": [6, 10]},
+    replicates=2,
 )
 
 
-def canonical_files(directory: Path) -> dict[str, bytes]:
-    """Artifacts + manifest; index.jsonl records completion order, not content."""
-    return {
+def canonical_files(directory: Path) -> dict[str, object]:
+    """Artifacts byte-for-byte + cost-stripped manifest; the index records
+    completion order, not content, and is excluded."""
+    files: dict[str, object] = {
         path.name: path.read_bytes()
         for path in directory.iterdir()
-        if path.name != "index.jsonl"
+        if path.name not in ("index.jsonl", "MANIFEST.json")
     }
+    manifest = directory / "MANIFEST.json"
+    if manifest.is_file():
+        files["MANIFEST.json"] = strip_costs(json.loads(manifest.read_text()))
+    return files
 
 
 def main() -> None:
@@ -65,21 +80,23 @@ def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         full_dir, crash_dir = Path(tmp) / "full", Path(tmp) / "crashed"
 
-        full = run_scenarios(specs, workers=2, stream_to=full_dir)
-        print(f"uninterrupted: executed {full.executed}/{full.total} points")
+        full = run_scenarios(specs, workers=2, stream_to=full_dir, compress=True)
+        print(f"uninterrupted: executed {full.executed}/{full.total} points (gzip)")
 
-        # A "crash" after 2 of 4 points: only a prefix of the grid ran.
-        run_scenarios(specs[:2], stream_to=crash_dir)
+        # A "crash" after 3 of 8 points: only a prefix of the grid ran.
+        run_scenarios(specs[:3], stream_to=crash_dir, compress=True)
+        (crash_dir / "MANIFEST.json").unlink()  # a real crash never finalizes
         resumed = run_scenarios(specs, workers=2, resume=crash_dir)
         print(
             f"resumed:       executed {resumed.executed}, "
-            f"skipped {resumed.skipped} already-recorded points"
+            f"skipped {resumed.skipped} already-recorded points "
+            f"(compression auto-detected, missing points most-expensive-first)"
         )
 
         identical = canonical_files(full_dir) == canonical_files(crash_dir)
         print(f"resumed directory byte-identical to uninterrupted run: {identical}")
 
-        report = generate_report(full_dir)
+        report = generate_report(full_dir, ci=True)
         print()
         print(report.markdown)
 

@@ -6,10 +6,16 @@ Runs every kernel the `repro.perf` engine accelerated against its slow
 the exact-enumeration sizes, and writes per-kernel timings + speedups so
 future PRs have a perf trajectory to regress against.
 
+``--sweeps`` instead records a streamed-sweep throughput datapoint (points/s
+serial vs parallel, compressed vs uncompressed, bytes on disk, resume-scan
+overhead) into ``BENCH_sweeps.json`` — the trajectory the million-point
+sweep work regresses against.
+
 Usage::
 
     python scripts/bench_record.py            # writes ./BENCH_metrics.json
     python scripts/bench_record.py --out path
+    python scripts/bench_record.py --sweeps   # writes ./BENCH_sweeps.json
 """
 
 from __future__ import annotations
@@ -193,14 +199,110 @@ def bench_experiment_loop() -> dict[str, dict]:
     }
 
 
+def bench_sweep_throughput() -> dict[str, dict]:
+    """Streamed-sweep throughput: serial/parallel x plain/gzip + resume scan."""
+    import shutil
+    import tempfile
+
+    from repro.scenarios import ScenarioSpec, SweepSpec, run_scenarios
+
+    base = ScenarioSpec(
+        name="bench-sweep",
+        healer="xheal",
+        adversary="random",
+        adversary_kwargs={"delete_probability": 0.6},
+        topology="random-regular",
+        topology_kwargs={"n": 16, "degree": 4},
+        timesteps=5,
+        exact_expansion_limit=0,
+        stretch_sample_pairs=10,
+        seed=7,
+    )
+    sweep = SweepSpec(
+        base=base, axes={"timesteps": [3, 5, 7]}, replicates=8
+    )  # 24 points
+    specs = sweep.expand()
+
+    def dir_bytes(directory: pathlib.Path) -> int:
+        return sum(path.stat().st_size for path in directory.iterdir())
+
+    rows: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = pathlib.Path(tmp)
+        for label, workers, compress in (
+            ("serial_plain", 1, False),
+            ("serial_gzip", 1, True),
+            ("parallel4_plain", 4, False),
+            ("parallel4_gzip", 4, True),
+        ):
+            directory = tmp / label
+            start = time.perf_counter()
+            run_scenarios(specs, workers=workers, stream_to=directory, compress=compress)
+            elapsed = time.perf_counter() - start
+            rows[f"stream_{label}"] = {
+                "points": len(specs),
+                "workers": workers,
+                "compress": compress,
+                "wall_s": elapsed,
+                "points_per_s": len(specs) / elapsed,
+                "dir_bytes": dir_bytes(directory),
+            }
+        rows["compression_ratio"] = {
+            "plain_bytes": rows["stream_serial_plain"]["dir_bytes"],
+            "gzip_bytes": rows["stream_serial_gzip"]["dir_bytes"],
+            "ratio": rows["stream_serial_plain"]["dir_bytes"]
+            / rows["stream_serial_gzip"]["dir_bytes"],
+        }
+        # Resume of a fully recorded directory = pure verify-scan cost.
+        start = time.perf_counter()
+        result = run_scenarios(specs, resume=tmp / "serial_gzip")
+        elapsed = time.perf_counter() - start
+        assert result.executed == 0
+        rows["resume_scan_gzip"] = {
+            "points": len(specs),
+            "wall_s": elapsed,
+            "points_per_s": len(specs) / elapsed,
+        }
+        shutil.rmtree(tmp / "serial_plain")
+    return rows
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default=str(pathlib.Path(__file__).resolve().parents[1] / "BENCH_metrics.json"),
-        help="output JSON path (default: repo root BENCH_metrics.json)",
+        default=None,
+        help="output JSON path (default: repo root BENCH_metrics.json, "
+        "or BENCH_sweeps.json with --sweeps)",
+    )
+    parser.add_argument(
+        "--sweeps",
+        action="store_true",
+        help="record streamed-sweep throughput into BENCH_sweeps.json "
+        "instead of the metric kernels",
     )
     args = parser.parse_args()
+    root = pathlib.Path(__file__).resolve().parents[1]
+
+    if args.sweeps:
+        print("benchmarking streamed sweeps ...", flush=True)
+        kernels = bench_sweep_throughput()
+        payload = {
+            "schema": "bench_sweeps/v1",
+            "workload": "24-point sweep (3 timesteps x 8 replicates), n=16 expanders",
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "sweeps": kernels,
+        }
+        out = pathlib.Path(args.out) if args.out else root / "BENCH_sweeps.json"
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {out}")
+        for key, row in kernels.items():
+            rate = row.get("points_per_s")
+            shown = f"{rate:7.1f} pts/s" if isinstance(rate, float) else "    n/a     "
+            print(f"  {key:28s} {shown}")
+        return
+    args.out = args.out or str(root / "BENCH_metrics.json")
 
     kernels: dict[str, dict] = {}
     for name, bench in (

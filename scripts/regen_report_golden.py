@@ -6,9 +6,13 @@ Usage::
 
 Rewrites ``tests/golden/report_sweep/`` (a small streamed sweep directory)
 and ``tests/golden/report_expected/`` (the report.md / summary.csv /
-timeline.csv that ``repro report`` must render from it).  The regression
-test ``tests/test_analysis_report.py`` compares byte-for-byte, so report
-formatting changes are deliberate: rerun this script and review the diff.
+timeline.csv that ``repro report`` must render from it), plus
+``tests/golden/report_replicates_sweep/`` (a gzip-compressed streamed sweep
+with ``replicates=3``) and ``tests/golden/report_replicates_expected/``
+(report.md / summary.csv / replicates.csv / timeline.csv, rendered with the
+bootstrap-CI column).  The regression test ``tests/test_analysis_report.py``
+compares byte-for-byte, so report formatting changes are deliberate: rerun
+this script and review the diff.
 """
 
 from __future__ import annotations
@@ -47,15 +51,39 @@ BASE = ScenarioSpec(
 
 SWEEP = SweepSpec(base=BASE, axes={"healer": ["xheal", "no-heal"], "timesteps": [3, 5]})
 
+REPLICATES_SWEEP_DIR = REPO / "tests" / "golden" / "report_replicates_sweep"
+REPLICATES_EXPECTED_DIR = REPO / "tests" / "golden" / "report_replicates_expected"
+
+#: The replicate golden: one axis x 3 replicates, streamed compressed — pins
+#: the per-base-point mean/std/min/max + bootstrap-CI aggregation and the
+#: transparent .jsonl.gz read path at once.
+REPLICATES_SWEEP = SweepSpec(
+    base=BASE.with_overrides(name="golden-rep", timesteps=4, seed=11),
+    axes={"healer": ["xheal", "no-heal"]},
+    replicates=3,
+)
+
 
 def main() -> None:
-    for directory in (SWEEP_DIR, EXPECTED_DIR):
+    for directory in (
+        SWEEP_DIR,
+        EXPECTED_DIR,
+        REPLICATES_SWEEP_DIR,
+        REPLICATES_EXPECTED_DIR,
+    ):
         if directory.exists():
             shutil.rmtree(directory)
     result = run_scenarios(SWEEP.expand(), stream_to=SWEEP_DIR)
     print(f"streamed {result.total} points to {SWEEP_DIR}")
     report = generate_report(SWEEP_DIR, out_dir=EXPECTED_DIR)
     print(f"wrote {[path.name for path in report.written]} to {EXPECTED_DIR}")
+
+    result = run_scenarios(
+        REPLICATES_SWEEP.expand(), stream_to=REPLICATES_SWEEP_DIR, compress=True
+    )
+    print(f"streamed {result.total} compressed points to {REPLICATES_SWEEP_DIR}")
+    report = generate_report(REPLICATES_SWEEP_DIR, out_dir=REPLICATES_EXPECTED_DIR, ci=True)
+    print(f"wrote {[path.name for path in report.written]} to {REPLICATES_EXPECTED_DIR}")
 
 
 if __name__ == "__main__":

@@ -3,7 +3,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-xheal",
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "Reproduction of 'Xheal: Localized Self-healing using Expanders' "
         "(Pandurangan & Trehan, PODC 2011) with a declarative scenario API"

@@ -1,34 +1,57 @@
 """Aggregate reports over streamed sweep directories.
 
 :func:`generate_report` turns a directory of JSONL run artifacts (as written
-by ``run_scenarios(..., stream_to=...)`` or ``repro sweep --stream-to``) into
+by ``run_scenarios(..., stream_to=...)`` or ``repro sweep --stream-to``,
+plain or gzip-compressed) into
 
 * a markdown report — one per-point summary table, one aggregate table per
   *varying axis* (any dotted spec field that takes more than one value across
-  the directory), and optionally per-point timeline tables,
-* ``summary.csv`` — per-point summary rows plus their axis assignment, and
+  the directory), replicate-group statistics when the directory carries
+  ``[rep=N]`` replicate points, and optionally per-point timeline tables,
+* ``summary.csv`` — per-point summary rows plus their axis assignment,
+* ``replicates.csv`` — per-base-point mean/std/min/max (and, with
+  ``ci=True``, a deterministic bootstrap 95% confidence interval) over each
+  replicate group, and
 * ``timeline.csv`` — every recorded timeline row in long format.
 
 The reader is memory-bounded: artifacts are consumed one line at a time via
-:func:`~repro.scenarios.artifacts.iter_artifact`, timeline rows are appended
-to the CSV as they are read, and only the small per-point summary rows (plus
-a compact per-point series for the markdown timeline section) are retained —
-a thousand-point sweep directory never gets loaded into memory at once.
+:func:`~repro.scenarios.artifacts.iter_artifact` (which sniffs gzip, so
+compressed and uncompressed directories report identically), timeline rows
+are appended to the CSV as they are read, and only the small per-point
+summary rows (plus a compact per-point series for the markdown timeline
+section) are retained — a thousand-point sweep directory never gets loaded
+into memory at once.
 
 Axes are *inferred*, not configured: the spec line of every artifact is
 flattened to dotted keys (``healer_kwargs.kappa``) and any key that varies is
 an axis.  This keeps the report honest for hand-assembled directories, not
 just ones produced by a single :class:`~repro.scenarios.sweep.SweepSpec`.
+(When replicate groups are present, ``seed`` is exempt: per-replicate seeds
+are the replication mechanism, not a parameter axis.)
+
+:class:`ReportWatcher` / :func:`watch_report` are the live view: they tail a
+still-running stream directory's ``index.jsonl`` incrementally — verifying
+each new entry with the same artifact-hash machinery resume uses, reading
+each artifact exactly once — and rewrite the report on every refresh.  A
+watch snapshot equals a one-shot :func:`generate_report` over the same
+partial directory, and the final refresh (once ``MANIFEST.json`` lands) is
+byte-identical to the one-shot report of the finished sweep.
 """
 
 from __future__ import annotations
 
 import csv
+import json
+import math
+import random
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.scenarios.artifacts import iter_artifact
 from repro.scenarios.stream import INDEX_NAME, MANIFEST_NAME
+from repro.scenarios.sweep import flatten_dotted, split_replicate
+from repro.util.rng import derive_seed
 from repro.util.validation import require
 
 #: Compact per-point series shown in the markdown timeline section:
@@ -41,17 +64,9 @@ _TIMELINE_COLUMNS = {
     "lambda(healed)": lambda row: row.get("healed", {}).get("algebraic_connectivity"),
 }
 
-
-def flatten_dotted(mapping: dict, prefix: str = "") -> dict:
-    """Flatten nested dicts to dotted keys; non-dict values pass through."""
-    flat: dict = {}
-    for key, value in mapping.items():
-        dotted = f"{prefix}{key}"
-        if isinstance(value, dict):
-            flat.update(flatten_dotted(value, prefix=f"{dotted}."))
-        else:
-            flat[dotted] = value
-    return flat
+#: Bootstrap resamples behind the ``ci`` column (seeded, so deterministic).
+_CI_RESAMPLES = 200
+_CI_ALPHA = 0.05
 
 
 def scan_artifact_paths(directory: str | Path) -> list[Path]:
@@ -59,10 +74,9 @@ def scan_artifact_paths(directory: str | Path) -> list[Path]:
 
     When the directory carries a ``MANIFEST.json`` (a finalized streamed
     sweep), its entry order — the sweep's submission order — wins; otherwise
-    every ``*.jsonl`` except the stream index is taken in sorted-name order.
+    every ``*.jsonl`` / ``*.jsonl.gz`` except the stream index is taken in
+    sorted-name order.
     """
-    import json
-
     directory = Path(directory)
     require(directory.is_dir(), f"not a sweep directory: {directory}")
     manifest = directory / MANIFEST_NAME
@@ -73,10 +87,11 @@ def scan_artifact_paths(directory: str | Path) -> list[Path]:
     # killed sweep may leave a partial temp artifact next to the real ones.
     paths = sorted(
         path
-        for path in directory.glob("*.jsonl")
+        for pattern in ("*.jsonl", "*.jsonl.gz")
+        for path in directory.glob(pattern)
         if path.name != INDEX_NAME and not path.name.startswith(".")
     )
-    require(bool(paths), f"no run artifacts (*.jsonl) in {directory}")
+    require(bool(paths), f"no run artifacts (*.jsonl / *.jsonl.gz) in {directory}")
     return paths
 
 
@@ -118,6 +133,11 @@ class PointSummary:
     spec_flat: dict
     summary: dict
     timeline: list = field(default_factory=list)  # compact markdown series
+    # Raw timeline rows, kept only by the watcher (collect_rows=True) so
+    # each artifact is read once yet timeline.csv can be rewritten on every
+    # refresh; one-shot reports stream rows straight to CSV instead.
+    raw_timeline: list = field(default_factory=list)
+    csv_label: str = ""
 
 
 @dataclass
@@ -131,11 +151,17 @@ class SweepReport:
     written: list = field(default_factory=list)  # files written by out_dir
 
 
-def _read_point(path: Path, timeline_writer, include_timeline: bool) -> PointSummary:
+def _read_point(
+    path: Path,
+    timeline_writer,
+    include_timeline: bool,
+    collect_rows: bool = False,
+) -> PointSummary:
     """Single-pass read of one artifact (timeline rows streamed straight out)."""
     spec_data: dict | None = None
     summary: dict | None = None
     compact: list[dict] = []
+    raw: list[dict] = []
     for kind, data in iter_artifact(path):
         if kind == "spec":
             spec_data = data
@@ -143,7 +169,9 @@ def _read_point(path: Path, timeline_writer, include_timeline: bool) -> PointSum
             summary = data
         elif kind == "timeline":
             if timeline_writer is not None:
-                timeline_writer.write_row(path, spec_data, data)
+                timeline_writer.write_row(_csv_label(path, spec_data), data)
+            if collect_rows:
+                raw.append(data)
             if include_timeline:
                 compact.append(
                     {name: pick(data) for name, pick in _TIMELINE_COLUMNS.items()}
@@ -160,7 +188,14 @@ def _read_point(path: Path, timeline_writer, include_timeline: bool) -> PointSum
         spec_flat=flatten_dotted(spec_data),
         summary=dict(summary),
         timeline=compact,
+        raw_timeline=raw,
+        csv_label=_csv_label(path, spec_data),
     )
+
+
+def _csv_label(artifact: Path, spec_data: dict | None) -> str:
+    """The label ``timeline.csv`` rows carry for one artifact."""
+    return (spec_data or {}).get("name") or artifact.stem
 
 
 class _TimelineCsv:
@@ -172,8 +207,7 @@ class _TimelineCsv:
         self.path = path
         self.rows = 0
 
-    def write_row(self, artifact: Path, spec_data: dict | None, row: dict) -> None:
-        label = (spec_data or {}).get("name") or artifact.stem
+    def write_row(self, label: str, row: dict) -> None:
         flat = {"label": label, **flatten_dotted(row)}
         if self._writer is None:
             self._writer = csv.DictWriter(self._handle, fieldnames=list(flat))
@@ -252,39 +286,113 @@ def _axis_section(key: str, values: list, points: list) -> str:
     return f"## Axis: `{key}`\n\n{_markdown_table(rows, columns)}"
 
 
-def generate_report(
-    directory: str | Path,
-    out_dir: str | Path | None = None,
-    include_timeline: bool = True,
-) -> SweepReport:
-    """Aggregate a sweep directory into a :class:`SweepReport`.
+# -- replicate aggregation ----------------------------------------------------
 
-    When ``out_dir`` is given, ``report.md``, ``summary.csv`` and (if any
-    timeline rows exist) ``timeline.csv`` are written there; the markdown is
-    always available on the returned report.
+
+def replicate_groups(points: list) -> dict:
+    """Return ``base label -> [points]`` for every replicate group of size > 1.
+
+    Membership is the ``[rep=N]`` marker :meth:`SweepSpec.expand` bakes into
+    point names (``repro.scenarios.sweep.split_replicate``); unmarked points
+    are single-shot and never grouped.
     """
-    directory = Path(directory)
-    paths = scan_artifact_paths(directory)
-    written: list[Path] = []
-    timeline_writer = None
-    if out_dir is not None:
-        out_dir = Path(out_dir)
-        out_dir.mkdir(parents=True, exist_ok=True)
-        timeline_writer = _TimelineCsv(out_dir / "timeline.csv")
-    try:
-        points = [_read_point(path, timeline_writer, include_timeline) for path in paths]
-    finally:
-        if timeline_writer is not None:
-            timeline_writer.close()
-    axes = detect_axes(points)
+    groups: dict[str, list] = {}
+    for point in points:
+        base, rep = split_replicate(point.label)
+        if rep is not None:
+            groups.setdefault(base, []).append(point)
+    return {base: members for base, members in groups.items() if len(members) > 1}
 
-    summary_columns = ["point"]
+
+def bootstrap_ci(values: list, seed_label: str) -> tuple[float, float]:
+    """Deterministic bootstrap 95% CI of the mean of ``values``.
+
+    Seeded from the group/metric label via :func:`derive_seed` (pure-Python
+    ``random.Random``), so goldens and watch/one-shot differentials are
+    byte-stable across platforms and runs.
+    """
+    rng = random.Random(derive_seed(0, "report-ci", seed_label))
+    size = len(values)
+    means = sorted(
+        sum(rng.choices(values, k=size)) / size for _ in range(_CI_RESAMPLES)
+    )
+    cut = int(_CI_RESAMPLES * _CI_ALPHA / 2)
+    return means[cut], means[_CI_RESAMPLES - 1 - cut]
+
+
+def _replicate_stats(base: str, members: list, ci: bool) -> list[dict]:
+    """Per-metric aggregation rows for one replicate group."""
+    columns: dict[str, list] = {}
+    for member in members:
+        for key, value in member.summary.items():
+            columns.setdefault(key, []).append(value)
+    rows: list[dict] = []
+    for key, column in columns.items():
+        if all(isinstance(value, bool) for value in column):
+            rows.append({"metric": key, "mean": f"{sum(column)}/{len(column)} ok"})
+            continue
+        if not all(
+            isinstance(value, (int, float)) and not isinstance(value, bool)
+            for value in column
+        ):
+            continue
+        mean = float(sum(column)) / len(column)
+        spread = math.sqrt(
+            sum((value - mean) ** 2 for value in column) / (len(column) - 1)
+        )
+        row = {
+            "metric": key,
+            "mean": mean,
+            "std": spread,
+            "min": min(column),
+            "max": max(column),
+        }
+        if ci:
+            low, high = bootstrap_ci(list(column), f"{base}:{key}")
+            row["ci95"] = f"[{_cell(low)}, {_cell(high)}]"
+        rows.append(row)
+    return rows
+
+
+def _replicate_section(groups: dict, ci: bool) -> str:
+    """Render the per-base-point replicate statistics section."""
+    columns = ["metric", "mean", "std", "min", "max"] + (["ci95"] if ci else [])
+    parts = [
+        "## Replicates",
+        "Per base point, aggregated over its `[rep=N]` replicates"
+        + (" (ci95: seeded bootstrap of the mean)." if ci else "."),
+    ]
+    for base in sorted(groups):
+        members = groups[base]
+        parts.append(
+            f"### {base} ({len(members)} replicates)\n\n"
+            + _markdown_table(_replicate_stats(base, members, ci), columns)
+        )
+    return "\n\n".join(parts)
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def _summary_columns(points: list) -> list[str]:
+    columns = ["point"]
     for point in points:
         for key in point.summary:
-            if key not in summary_columns:
-                summary_columns.append(key)
-    point_rows = [{"point": point.label, **point.summary} for point in points]
+            if key not in columns:
+                columns.append(key)
+    return columns
 
+
+def _render(directory: Path, points: list, include_timeline: bool, ci: bool):
+    """Compose the markdown document; return ``(axes, groups, markdown)``."""
+    axes = detect_axes(points)
+    groups = replicate_groups(points)
+    if groups:
+        # Per-replicate derived seeds are the replication mechanism, not a
+        # swept parameter — a one-row-per-seed axis table would be noise.
+        axes.pop("seed", None)
+    summary_columns = _summary_columns(points)
+    point_rows = [{"point": point.label, **point.summary} for point in points]
     sections = [
         f"# Sweep report: {directory.name}",
         "\n".join(
@@ -298,6 +406,8 @@ def generate_report(
     ]
     for key, values in axes.items():
         sections.append(_axis_section(key, values, points))
+    if groups:
+        sections.append(_replicate_section(groups, ci))
     if include_timeline and any(point.timeline for point in points):
         timeline_parts = ["## Timelines"]
         for point in points:
@@ -307,32 +417,259 @@ def generate_report(
                     + _markdown_table(point.timeline, list(_TIMELINE_COLUMNS))
                 )
         sections.append("\n\n".join(timeline_parts))
-    markdown = "\n\n".join(sections) + "\n"
+    return axes, groups, "\n\n".join(sections) + "\n"
 
-    if out_dir is not None:
-        report_path = out_dir / "report.md"
-        report_path.write_text(markdown, encoding="utf-8")
-        written.append(report_path)
-        summary_path = out_dir / "summary.csv"
-        axis_columns = list(axes)
-        with summary_path.open("w", encoding="utf-8", newline="") as handle:
-            writer = csv.writer(handle)
-            # Axis columns are namespaced (spec.healer, spec.timesteps) so
-            # they never collide with summary columns of the same name.
+
+def _write_tables(out_dir: Path, points: list, axes: dict, groups: dict, ci: bool, markdown: str):
+    """Write ``report.md`` / ``summary.csv`` / ``replicates.csv``; return paths."""
+    written: list[Path] = []
+    report_path = out_dir / "report.md"
+    report_path.write_text(markdown, encoding="utf-8")
+    written.append(report_path)
+
+    summary_columns = _summary_columns(points)
+    summary_path = out_dir / "summary.csv"
+    axis_columns = list(axes)
+    with summary_path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        # Axis columns are namespaced (spec.healer, spec.timesteps) so
+        # they never collide with summary columns of the same name.
+        writer.writerow(
+            ["point", *(f"spec.{key}" for key in axis_columns), *summary_columns[1:]]
+        )
+        for point in points:
             writer.writerow(
-                ["point", *(f"spec.{key}" for key in axis_columns), *summary_columns[1:]]
+                [point.label]
+                + [_cell(point.spec_flat.get(key)) for key in axis_columns]
+                + [_cell(point.summary.get(key)) for key in summary_columns[1:]]
             )
-            for point in points:
-                writer.writerow(
-                    [point.label]
-                    + [_cell(point.spec_flat.get(key)) for key in axis_columns]
-                    + [_cell(point.summary.get(key)) for key in summary_columns[1:]]
-                )
-        written.append(summary_path)
-        if timeline_writer is not None and timeline_writer.rows:
+    written.append(summary_path)
+
+    if groups:
+        replicates_path = out_dir / "replicates.csv"
+        with replicates_path.open("w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            header = ["point", "replicates", "metric", "mean", "std", "min", "max"]
+            if ci:
+                header += ["ci95"]
+            writer.writerow(header)
+            for base in sorted(groups):
+                members = groups[base]
+                for row in _replicate_stats(base, members, ci):
+                    line = [base, len(members)] + [
+                        _cell(row.get(column))
+                        for column in ("metric", "mean", "std", "min", "max")
+                    ]
+                    if ci:
+                        line.append(_cell(row.get("ci95")))
+                    writer.writerow(line)
+        written.append(replicates_path)
+    return written
+
+
+def generate_report(
+    directory: str | Path,
+    out_dir: str | Path | None = None,
+    include_timeline: bool = True,
+    ci: bool = False,
+) -> SweepReport:
+    """Aggregate a sweep directory into a :class:`SweepReport`.
+
+    When ``out_dir`` is given, ``report.md``, ``summary.csv``,
+    ``replicates.csv`` (if the directory has replicate groups) and (if any
+    timeline rows exist) ``timeline.csv`` are written there; the markdown is
+    always available on the returned report.  ``ci=True`` adds the
+    deterministic bootstrap confidence-interval column to the replicate
+    aggregation.
+    """
+    directory = Path(directory)
+    paths = scan_artifact_paths(directory)
+    timeline_writer = None
+    if out_dir is not None:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        timeline_writer = _TimelineCsv(out_dir / "timeline.csv")
+    try:
+        points = [_read_point(path, timeline_writer, include_timeline) for path in paths]
+    finally:
+        if timeline_writer is not None:
+            timeline_writer.close()
+    axes, groups, markdown = _render(directory, points, include_timeline, ci)
+
+    written: list[Path] = []
+    if out_dir is not None:
+        written = _write_tables(out_dir, points, axes, groups, ci, markdown)
+        if timeline_writer.rows:
             written.append(timeline_writer.path)
-        elif timeline_writer is not None:
+        else:
             timeline_writer.path.unlink()
     return SweepReport(
         directory=directory, points=points, axes=axes, markdown=markdown, written=written
     )
+
+
+# -- live watch ---------------------------------------------------------------
+
+
+class ReportWatcher:
+    """Incrementally tail a live stream directory, rebuilding the report.
+
+    Each refresh reads only the ``index.jsonl`` bytes appended since the
+    last one (torn tails are carried to the next refresh, exactly like the
+    resume scan), verifies every new entry's artifact with the same
+    hash/fingerprint machinery resume uses
+    (:meth:`~repro.scenarios.stream.SweepStream.completed`'s per-entry
+    check), reads each verified artifact once, and re-renders.  Snapshots
+    therefore match a one-shot :func:`generate_report` of the same partial
+    directory, and once ``MANIFEST.json`` appears the final output is
+    byte-identical to the one-shot report of the finished sweep.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        out_dir: str | Path | None = None,
+        include_timeline: bool = True,
+        ci: bool = False,
+    ):
+        from repro.scenarios.stream import SweepStream
+
+        self.directory = Path(directory)
+        require(self.directory.is_dir(), f"not a sweep directory: {self.directory}")
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self.include_timeline = include_timeline
+        self.ci = ci
+        self.complete = False
+        self._stream = SweepStream(self.directory)
+        self._offset = 0
+        self._retry: list[dict] = []
+        self._cache: dict[str, PointSummary] = {}  # artifact name -> point
+
+    def _new_index_entries(self) -> list[dict]:
+        """Return the entries appended to the index since the last refresh."""
+        index_path = self.directory / INDEX_NAME
+        if not index_path.exists():
+            return []
+        with index_path.open("rb") as handle:
+            handle.seek(self._offset)
+            chunk = handle.read()
+        # Only consume whole lines; a torn tail write stays unconsumed and
+        # is re-read (hopefully completed) on the next refresh.
+        cut = chunk.rfind(b"\n")
+        if cut < 0:
+            return []
+        self._offset += cut + 1
+        entries = []
+        for line in chunk[: cut + 1].splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict) and entry.get("artifact"):
+                entries.append(entry)
+        return entries
+
+    def _ingest(self, path: Path) -> None:
+        self._cache[path.name] = _read_point(
+            path, None, self.include_timeline, collect_rows=True
+        )
+
+    def refresh(self):
+        """Pick up new index lines and re-render; return the new report.
+
+        Returns ``None`` while the directory has no verified points yet.
+        Sets :attr:`complete` once ``MANIFEST.json`` exists and every
+        manifest entry has been read — the sweep is finished and the report
+        final.
+        """
+        pending, self._retry = self._retry + self._new_index_entries(), []
+        for entry in pending:
+            name = str(entry.get("artifact"))
+            if name in self._cache:
+                continue
+            if not self._stream._artifact_matches(entry):
+                # Recorded but not (yet) verifiable — e.g. a resume is about
+                # to overwrite a tampered artifact.  Try again next refresh.
+                self._retry.append(entry)
+                continue
+            self._ingest(self.directory / name)
+
+        manifest_path = self.directory / MANIFEST_NAME
+        if manifest_path.is_file():
+            manifest_entries = json.loads(manifest_path.read_text(encoding="utf-8"))[
+                "entries"
+            ]
+            order = [entry["artifact"] for entry in manifest_entries]
+            # A manifest can list points this watcher never saw land (they
+            # were recorded before it attached); read the stragglers now —
+            # through the same verification every indexed entry gets (the
+            # manifest entry carries the sha256/fingerprint pair too).
+            for entry in manifest_entries:
+                name = entry["artifact"]
+                if name not in self._cache and self._stream._artifact_matches(entry):
+                    self._ingest(self.directory / name)
+            names = [name for name in order if name in self._cache]
+            self.complete = len(names) == len(order)
+        else:
+            names = sorted(self._cache)
+        if not names:
+            return None
+        points = [self._cache[name] for name in names]
+        axes, groups, markdown = _render(
+            self.directory, points, self.include_timeline, self.ci
+        )
+        written: list[Path] = []
+        if self.out_dir is not None:
+            self.out_dir.mkdir(parents=True, exist_ok=True)
+            written = _write_tables(self.out_dir, points, axes, groups, self.ci, markdown)
+            timeline_writer = _TimelineCsv(self.out_dir / "timeline.csv")
+            try:
+                for point in points:
+                    for row in point.raw_timeline:
+                        timeline_writer.write_row(point.csv_label, row)
+            finally:
+                timeline_writer.close()
+            if timeline_writer.rows:
+                written.append(timeline_writer.path)
+            else:
+                timeline_writer.path.unlink()
+        return SweepReport(
+            directory=self.directory,
+            points=points,
+            axes=axes,
+            markdown=markdown,
+            written=written,
+        )
+
+
+def watch_report(
+    directory: str | Path,
+    out_dir: str | Path | None = None,
+    interval: float = 2.0,
+    max_refreshes: int | None = None,
+    include_timeline: bool = True,
+    ci: bool = False,
+    sleep=time.sleep,
+    on_refresh=None,
+):
+    """Tail ``directory`` until its sweep completes; return the final report.
+
+    Refreshes every ``interval`` seconds.  Stops when the stream's
+    ``MANIFEST.json`` appears and every point has been read (the sweep
+    finished), or after ``max_refreshes`` refreshes (mainly for tests and
+    CI smoke — an abandoned sweep never completes).  ``on_refresh(watcher,
+    report)`` fires after every refresh; ``report`` is ``None`` until the
+    first point lands.
+    """
+    watcher = ReportWatcher(directory, out_dir=out_dir, include_timeline=include_timeline, ci=ci)
+    refreshes = 0
+    while True:
+        report = watcher.refresh()
+        refreshes += 1
+        if on_refresh is not None:
+            on_refresh(watcher, report)
+        if watcher.complete or (max_refreshes is not None and refreshes >= max_refreshes):
+            return report
+        sleep(interval)

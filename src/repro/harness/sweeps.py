@@ -10,6 +10,7 @@ harness.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
 from typing import Callable, Mapping, Sequence
 
@@ -26,16 +27,24 @@ from repro.perf.engine import MetricsEngine
 
 @dataclass(frozen=True)
 class SweepResult:
-    """One point of a parameter sweep."""
+    """One point of a parameter sweep.
+
+    ``wall_clock_s`` mirrors the scenario layer's per-point cost column: the
+    measured execution time of this point, surfaced in :meth:`row` so
+    imperative sweeps can also be cost-profiled.
+    """
 
     label: str
     parameter: object
     result: ExperimentResult
+    wall_clock_s: float | None = None
 
     def row(self) -> dict[str, object]:
         """Return the experiment's summary row augmented with the sweep parameter."""
         row = {"sweep": self.label, "parameter": self.parameter}
         row.update(self.result.summary_row())
+        if self.wall_clock_s is not None:
+            row["wall_clock_s"] = self.wall_clock_s
         return row
 
 
@@ -62,7 +71,14 @@ def sweep_parameter(
     results: list[SweepResult] = []
     for value in values:
         config = configure(base_config, value)
-        point = SweepResult(label=label, parameter=value, result=run_experiment(config))
+        start = time.perf_counter()
+        result = run_experiment(config)
+        point = SweepResult(
+            label=label,
+            parameter=value,
+            result=result,
+            wall_clock_s=time.perf_counter() - start,
+        )
         if on_result is not None:
             on_result(point)
         if collect:
@@ -95,7 +111,14 @@ def sweep_healers(
             healer_factory=factory,
             adversary_factory=adversary_factory or base_config.adversary_factory,
         )
-        point = SweepResult(label="healer", parameter=name, result=run_experiment(config))
+        start = time.perf_counter()
+        result = run_experiment(config)
+        point = SweepResult(
+            label="healer",
+            parameter=name,
+            result=result,
+            wall_clock_s=time.perf_counter() - start,
+        )
         if on_result is not None:
             on_result(point)
         if collect:

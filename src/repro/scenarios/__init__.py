@@ -70,29 +70,37 @@ __all__ = [
     # lazily loaded (see __getattr__):
     "ScenarioSpec",
     "SweepSpec",
+    "split_replicate",
     "RunRecord",
     "run_scenarios",
     "run_sweep",
     "save_run",
     "load_run",
     "iter_artifact",
+    "open_artifact",
+    "run_bytes",
     "replay_artifact",
     "SweepStream",
     "StreamResult",
+    "strip_costs",
 ]
 
 _LAZY = {
     "ScenarioSpec": "repro.scenarios.spec",
     "SweepSpec": "repro.scenarios.sweep",
+    "split_replicate": "repro.scenarios.sweep",
     "RunRecord": "repro.scenarios.runner",
     "run_scenarios": "repro.scenarios.runner",
     "run_sweep": "repro.scenarios.runner",
     "save_run": "repro.scenarios.artifacts",
     "load_run": "repro.scenarios.artifacts",
     "iter_artifact": "repro.scenarios.artifacts",
+    "open_artifact": "repro.scenarios.artifacts",
+    "run_bytes": "repro.scenarios.artifacts",
     "replay_artifact": "repro.scenarios.artifacts",
     "SweepStream": "repro.scenarios.stream",
     "StreamResult": "repro.scenarios.stream",
+    "strip_costs": "repro.scenarios.stream",
 }
 
 

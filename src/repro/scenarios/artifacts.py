@@ -16,14 +16,33 @@ recorded trace through
 original ``summary_row()`` exactly (same metric fidelity, same engine seed;
 on the dense spectral path, n <= sparse_threshold, the computation is
 bitwise deterministic).
+
+Artifacts may be gzip-compressed (``.jsonl.gz``) for million-point sweep
+directories.  Compression is an encoding of the same bytes, never a
+different document: :func:`gzip_bytes` is deterministic (fixed level, zeroed
+mtime) and ``gzip.decompress`` of a compressed artifact equals the
+uncompressed artifact exactly.  Every reader — :func:`iter_artifact`,
+:func:`load_run`, replay, resume verification, the report generator — goes
+through :func:`open_artifact`, which sniffs the gzip magic bytes rather than
+trusting the filename, so mixed and hand-renamed directories still read
+correctly.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 import re
 from dataclasses import dataclass
 from pathlib import Path
+
+#: The two magic bytes every gzip stream starts with (RFC 1952).
+GZIP_MAGIC = b"\x1f\x8b"
+
+#: Fixed compression level: byte-determinism across serial/parallel/resumed
+#: runs requires every writer to produce identical compressed bytes for
+#: identical inputs (level 6 is zlib's speed/size sweet spot for JSONL).
+GZIP_LEVEL = 6
 
 from repro.harness.experiment import ExperimentResult, run_healer_on_trace
 from repro.scenarios.registry import HEALERS
@@ -55,11 +74,57 @@ def run_lines(record: RunRecord) -> list[str]:
     return lines
 
 
+def run_bytes(record: RunRecord, compress: bool = False) -> bytes:
+    """Return ``record``'s artifact file bytes, optionally gzip-compressed.
+
+    The uncompressed bytes are exactly :func:`run_lines` joined with
+    newlines; the compressed bytes are their deterministic
+    :func:`gzip_bytes` encoding — so ``gzip.decompress(run_bytes(r, True))
+    == run_bytes(r, False)`` always holds.
+    """
+    data = ("\n".join(run_lines(record)) + "\n").encode("utf-8")
+    return gzip_bytes(data) if compress else data
+
+
+def gzip_bytes(data: bytes) -> bytes:
+    """Compress ``data`` deterministically (fixed level, mtime pinned to 0).
+
+    A default ``gzip.compress`` stamps the current time into the header,
+    which would make byte-identical re-runs impossible; zeroing it keeps
+    compressed artifacts a pure function of their content.
+    """
+    return gzip.compress(data, compresslevel=GZIP_LEVEL, mtime=0)
+
+
+def maybe_decompress(data: bytes) -> bytes:
+    """Return ``data`` gunzipped when it carries the gzip magic, else as-is."""
+    return gzip.decompress(data) if data[:2] == GZIP_MAGIC else data
+
+
+def open_artifact(path: str | Path):
+    """Open an artifact for text reading, sniffing gzip by magic bytes.
+
+    This is the single auto-detection point all artifact readers share:
+    a ``.jsonl`` and a ``.jsonl.gz`` with the same decompressed content are
+    indistinguishable to every consumer downstream of here.
+    """
+    path = Path(path)
+    with path.open("rb") as probe:
+        magic = probe.read(2)
+    if magic == GZIP_MAGIC:
+        return gzip.open(path, "rt", encoding="utf-8")
+    return path.open("r", encoding="utf-8")
+
+
 def save_run(record: RunRecord, path: str | Path) -> Path:
-    """Write ``record`` to ``path`` as a JSONL artifact; return the path."""
+    """Write ``record`` to ``path`` as a JSONL artifact; return the path.
+
+    A ``.gz`` suffix selects the deterministic gzip encoding; the readers
+    sniff, so both forms replay and report identically.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text("\n".join(run_lines(record)) + "\n", encoding="utf-8")
+    path.write_bytes(run_bytes(record, compress=path.suffix == ".gz"))
     return path
 
 
@@ -68,10 +133,11 @@ def iter_artifact(path: str | Path):
 
     This is the memory-bounded read path: the report generator consumes
     sweep directories one line at a time, so aggregate tables over thousands
-    of points never hold more than one artifact's worth of rows.
+    of points never hold more than one artifact's worth of rows.  Compressed
+    artifacts are decompressed on the fly (see :func:`open_artifact`).
     """
     path = Path(path)
-    with path.open("r", encoding="utf-8") as handle:
+    with open_artifact(path) as handle:
         for line_number, line in enumerate(handle, 1):
             if not line.strip():
                 continue
@@ -114,10 +180,10 @@ def load_run(path: str | Path) -> RunRecord:
     )
 
 
-def artifact_name(index: int, label: str) -> str:
+def artifact_name(index: int, label: str, compress: bool = False) -> str:
     """Return a filesystem-safe artifact filename for one sweep point."""
     slug = re.sub(r"[^A-Za-z0-9._-]+", "-", label).strip("-") or "run"
-    return f"{index:04d}-{slug}.jsonl"
+    return f"{index:04d}-{slug}.jsonl" + (".gz" if compress else "")
 
 
 @dataclass(frozen=True)

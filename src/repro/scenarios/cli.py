@@ -8,8 +8,10 @@ Installed as the ``repro`` console script (see ``setup.py``) and runnable as
     python -m repro run spec.json --artifact run.jsonl
     python -m repro sweep sweep.json --workers 4 --artifact-dir out/
     python -m repro sweep sweep.json --stream-to out/   # durable, append-as-you-go
+    python -m repro sweep sweep.json --stream-to out/ --compress --replicates 5
     python -m repro sweep sweep.json --resume out/      # re-run only missing points
     python -m repro report out/ --out report/  # aggregate tables from artifacts
+    python -m repro report out/ --watch        # live: tail a running sweep
     python -m repro replay run.jsonl           # bit-identical re-execution
 
 Spec files are :meth:`~repro.scenarios.spec.ScenarioSpec.to_json` documents;
@@ -17,8 +19,12 @@ sweep files are :meth:`~repro.scenarios.sweep.SweepSpec.to_json` documents
 (``{"base": {...}, "axes": {...}}``).  ``replay`` exits non-zero when the
 replayed summary deviates from the recorded one, so it doubles as an
 integrity check in CI.  A crashed ``--stream-to`` sweep loses nothing:
-``--resume`` fingerprints every point and executes exactly the missing ones,
-with byte-identical final artifacts.
+``--resume`` fingerprints every point and executes exactly the missing ones
+(most-expensive-first, estimated from recorded costs), with byte-identical
+final artifacts; ``--compress`` gzips each artifact and is auto-detected on
+resume, replay and report.  ``--replicates N`` expands every grid point into
+N independently-seeded replicates, which ``report`` aggregates back per base
+point (``--ci`` adds a bootstrap confidence interval).
 """
 
 from __future__ import annotations
@@ -75,12 +81,53 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _check_resume_replicates(resume_dir: Path, replicates: int) -> None:
+    """Refuse resuming a directory recorded under a different replicate count.
+
+    A mismatched ``--replicates`` silently re-runs the whole grid (every
+    fingerprint differs) and strands the old points as orphans — an error
+    message beats a doubled directory.
+    """
+    from repro.scenarios.stream import INDEX_NAME, iter_index_entries
+
+    recorded = [
+        entry.get("replicate")
+        for entry in iter_index_entries(Path(resume_dir) / INDEX_NAME)
+        if "replicate" in entry
+    ]
+    if not recorded:
+        return
+    ids = [value for value in recorded if isinstance(value, int)]
+    if replicates == 1 and ids:
+        raise ValueError(
+            f"--resume {resume_dir} records replicate points (ids up to "
+            f"{max(ids)}) but this sweep has replicates=1; pass --replicates "
+            f"{max(ids) + 1} (or more) to continue it"
+        )
+    if replicates > 1 and len(ids) < len(recorded):
+        raise ValueError(
+            f"--resume {resume_dir} was streamed without replicates but "
+            f"--replicates {replicates} was given; resume it with the "
+            f"replicate count it was recorded with"
+        )
+    if ids and max(ids) >= replicates > 1:
+        raise ValueError(
+            f"--resume {resume_dir} records replicate ids up to {max(ids)} "
+            f"but --replicates {replicates} only expands ids 0..{replicates - 1}; "
+            f"was the sweep streamed with a different --replicates?"
+        )
+
+
 def _cmd_sweep(args) -> int:
+    from dataclasses import replace
+
     from repro.scenarios.artifacts import artifact_name, save_run
     from repro.scenarios.runner import run_scenarios
     from repro.scenarios.sweep import SweepSpec
 
     sweep = SweepSpec.from_json(Path(args.sweep).read_text(encoding="utf-8"))
+    if args.replicates is not None:
+        sweep = replace(sweep, replicates=args.replicates)
     specs = sweep.expand()
     print(f"sweep {sweep.label}: {len(specs)} points, workers={args.workers}")
     if args.artifact_dir and (args.stream_to or args.resume):
@@ -89,14 +136,19 @@ def _cmd_sweep(args) -> int:
             "--stream-to/--resume (the streamed directory already holds one "
             "artifact per point)"
         )
+    if args.compress and not (args.stream_to or args.resume):
+        raise ValueError("--compress only applies to --stream-to/--resume sweeps")
     if args.stream_to or args.resume:
         # Streamed mode: nothing is buffered, each finished point lands on
         # disk durably, and a resumed run executes only the missing points.
+        if args.resume:
+            _check_resume_replicates(Path(args.resume), sweep.replicates)
         result = run_scenarios(
             specs,
             workers=args.workers,
             stream_to=args.stream_to,
             resume=args.resume,
+            compress=True if args.compress else None,
         )
         print(
             f"streamed {result.total} points to {result.directory}/ "
@@ -114,11 +166,34 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    from repro.analysis.report import generate_report
+    from repro.analysis.report import generate_report, watch_report
 
-    report = generate_report(
-        args.directory, out_dir=args.out, include_timeline=not args.no_timeline
-    )
+    if args.watch:
+
+        def on_refresh(watcher, snapshot) -> None:
+            points = len(snapshot.points) if snapshot is not None else 0
+            state = "complete" if watcher.complete else "watching"
+            print(f"[watch] {points} point(s), {state}", file=sys.stderr)
+
+        report = watch_report(
+            args.directory,
+            out_dir=args.out,
+            interval=args.interval,
+            max_refreshes=args.max_refreshes,
+            include_timeline=not args.no_timeline,
+            ci=args.ci,
+            on_refresh=on_refresh,
+        )
+        if report is None:
+            print(f"error: no points appeared in {args.directory}", file=sys.stderr)
+            return 2
+    else:
+        report = generate_report(
+            args.directory,
+            out_dir=args.out,
+            include_timeline=not args.no_timeline,
+            ci=args.ci,
+        )
     print(report.markdown, end="")
     for path in report.written:
         print(f"wrote {path}", file=sys.stderr)
@@ -189,7 +264,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         metavar="DIR",
         help="resume a crashed --stream-to sweep: re-run only the points DIR "
-        "does not already record",
+        "does not already record, most-expensive-first",
+    )
+    sweep_parser.add_argument(
+        "--replicates",
+        type=int,
+        default=None,
+        metavar="N",
+        help="expand every grid point into N independently-seeded replicates "
+        "(overrides the sweep file's 'replicates' field)",
+    )
+    sweep_parser.add_argument(
+        "--compress",
+        action="store_true",
+        help="gzip each streamed artifact (.jsonl.gz; auto-detected on "
+        "resume/replay/report)",
     )
     sweep_parser.set_defaults(func=_cmd_sweep)
 
@@ -198,10 +287,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_parser.add_argument("directory", help="a --stream-to / --artifact-dir directory")
     report_parser.add_argument(
-        "--out", metavar="DIR", help="also write report.md, summary.csv and timeline.csv here"
+        "--out", metavar="DIR", help="also write report.md and the CSV tables here"
     )
     report_parser.add_argument(
         "--no-timeline", action="store_true", help="omit per-point timeline tables"
+    )
+    report_parser.add_argument(
+        "--ci",
+        action="store_true",
+        help="add a bootstrap 95%% confidence-interval column to the "
+        "replicate aggregation",
+    )
+    report_parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="tail a live --stream-to directory, rewriting the report as "
+        "points land; exits when the sweep completes",
+    )
+    report_parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="--watch poll interval in seconds (default: 2.0)",
+    )
+    report_parser.add_argument(
+        "--max-refreshes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop --watch after N refreshes even if the sweep is unfinished",
     )
     report_parser.set_defaults(func=_cmd_report)
 

@@ -20,6 +20,7 @@ also exactly what :mod:`repro.scenarios.artifacts` persists to JSONL.
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -128,12 +129,27 @@ def execute_spec(spec: ScenarioSpec) -> RunRecord:
     return RunRecord.from_result(spec, result)
 
 
+def execute_spec_timed(spec: ScenarioSpec) -> tuple[RunRecord, float]:
+    """Run one scenario and measure its wall clock *in the executing process*.
+
+    The streamed paths ship this to workers instead of :func:`execute_spec`
+    so the recorded ``wall_clock_s`` cost column measures the point's own
+    execution, not queueing or transfer time.  The timing never enters the
+    :class:`RunRecord` (artifact bytes stay a pure function of the spec); it
+    only rides alongside, into the stream index.
+    """
+    start = time.perf_counter()
+    record = execute_spec(spec)
+    return record, time.perf_counter() - start
+
+
 def run_scenarios(
     specs: Iterable[ScenarioSpec] | Sequence[ScenarioSpec],
     workers: int = 1,
     max_pending: int | None = None,
     stream_to: str | Path | None = None,
     resume: str | Path | None = None,
+    compress: bool | None = None,
 ):
     """Run every scenario, buffered in memory or streamed to a directory.
 
@@ -152,16 +168,26 @@ def run_scenarios(
     completion order — see :mod:`repro.scenarios.stream`), keeps at most the
     in-flight window of records in memory, writes a canonical
     ``MANIFEST.json`` at the end, and returns a
-    :class:`~repro.scenarios.stream.StreamResult`.  ``resume=<dir>`` streams
-    to the same directory but first fingerprints every spec and skips the
-    points the directory already records, executing exactly the missing ones;
-    serial, parallel and crash-resumed runs of the same spec list produce
-    byte-identical artifacts and manifests.
+    :class:`~repro.scenarios.stream.StreamResult`.  ``compress=True`` gzip-
+    encodes each streamed artifact (``.jsonl.gz``, deterministic bytes — a
+    decompressed compressed directory equals the uncompressed one exactly);
+    readers sniff, so nothing downstream needs to be told.  ``resume=<dir>``
+    streams to the same directory but first fingerprints every spec and
+    skips the points the directory already records, executing exactly the
+    missing ones; compression is auto-detected from the directory, the
+    recorded ``wall_clock_s`` costs schedule the missing points
+    most-expensive-first (so parallel resumes finish sooner), and serial,
+    parallel and crash-resumed runs of the same spec list produce
+    byte-identical artifacts (and manifests, modulo the cost columns).
     """
     spec_list = list(specs)
     require(workers >= 1, "workers must be at least 1")
     for spec in spec_list:
         spec.validate()
+    require(
+        compress is None or stream_to is not None or resume is not None,
+        "compress only applies to streamed sweeps; pass stream_to=<dir> or resume=<dir>",
+    )
     if stream_to is None and resume is None:
         if workers == 1 or len(spec_list) <= 1:
             return [execute_spec(spec) for spec in spec_list]
@@ -172,13 +198,13 @@ def run_scenarios(
 
         _run_pooled(spec_list, range(len(spec_list)), workers, max_pending, on_complete)
         return records  # type: ignore[return-value]
-    return _run_streamed(spec_list, workers, max_pending, stream_to, resume)
+    return _run_streamed(spec_list, workers, max_pending, stream_to, resume, compress)
 
 
-def _run_pooled(spec_list, indices, workers, max_pending, on_complete) -> None:
-    """Execute ``spec_list[i]`` for each index on a pool, bounded in flight.
+def _run_pooled(spec_list, indices, workers, max_pending, on_complete, fn=execute_spec) -> None:
+    """Execute ``fn(spec_list[i])`` for each index on a pool, bounded in flight.
 
-    ``on_complete(index, record)`` fires in completion order; nothing beyond
+    ``on_complete(index, result)`` fires in completion order; nothing beyond
     the in-flight window is retained here, so the caller decides whether to
     buffer (in-memory list) or stream (durable directory).
     """
@@ -191,16 +217,20 @@ def _run_pooled(spec_list, indices, workers, max_pending, on_complete) -> None:
         while pending or cursor < len(todo):
             while cursor < len(todo) and len(pending) < window:
                 index = todo[cursor]
-                pending[pool.submit(execute_spec, spec_list[index])] = index
+                pending[pool.submit(fn, spec_list[index])] = index
                 cursor += 1
             done, _ = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 on_complete(pending.pop(future), future.result())
 
 
-def _run_streamed(spec_list, workers, max_pending, stream_to, resume):
+def _run_streamed(spec_list, workers, max_pending, stream_to, resume, compress):
     """The ``stream_to``/``resume`` execution path of :func:`run_scenarios`."""
-    from repro.scenarios.stream import StreamResult, SweepStream
+    from repro.scenarios.stream import (
+        StreamResult,
+        SweepStream,
+        order_most_expensive_first,
+    )
 
     if resume is not None:
         require(
@@ -208,7 +238,7 @@ def _run_streamed(spec_list, workers, max_pending, stream_to, resume):
             "stream_to and resume must name the same directory when both are given",
         )
         stream_to = resume
-    stream = SweepStream(stream_to)
+    stream = SweepStream(stream_to, compress=compress)
     if resume is None:
         require(
             not stream.index_path.exists(),
@@ -239,12 +269,24 @@ def _run_streamed(spec_list, workers, max_pending, stream_to, resume):
             stacklevel=3,
         )
     todo = [index for index, fp in enumerate(fingerprints) if fp not in completed]
+    if completed and todo:
+        # Schedule the missing points most-expensive-first (estimated from the
+        # recorded costs of completed neighbors) so a parallel resume is not
+        # left waiting on one straggler scheduled last.
+        todo = order_most_expensive_first(spec_list, fingerprints, completed, todo)
+
+    def record_timed(index: int, payload: tuple[RunRecord, float]) -> None:
+        record, wall_clock_s = payload
+        stream.record(index, record, wall_clock_s=wall_clock_s)
+
     with stream:
         if workers == 1 or len(todo) <= 1:
             for index in todo:
-                stream.record(index, execute_spec(spec_list[index]))
+                record_timed(index, execute_spec_timed(spec_list[index]))
         else:
-            _run_pooled(spec_list, todo, workers, max_pending, stream.record)
+            _run_pooled(
+                spec_list, todo, workers, max_pending, record_timed, fn=execute_spec_timed
+            )
         entries = stream.finalize(spec_list, verified=completed)
     return StreamResult(
         directory=stream.directory,
@@ -259,6 +301,13 @@ def run_sweep(
     workers: int = 1,
     stream_to: str | Path | None = None,
     resume: str | Path | None = None,
+    compress: bool | None = None,
 ):
     """Expand a :class:`~repro.scenarios.sweep.SweepSpec` and run its grid."""
-    return run_scenarios(sweep.expand(), workers=workers, stream_to=stream_to, resume=resume)
+    return run_scenarios(
+        sweep.expand(),
+        workers=workers,
+        stream_to=stream_to,
+        resume=resume,
+        compress=compress,
+    )

@@ -2,31 +2,39 @@
 
 A streamed sweep writes one directory::
 
-    <dir>/0003-<slug>.jsonl    one JSONL artifact per completed point
-    <dir>/index.jsonl          append-only completion log (one line per point)
-    <dir>/MANIFEST.json        canonical manifest, written on completion
+    <dir>/0003-<slug>.jsonl       one JSONL artifact per completed point
+    <dir>/0003-<slug>.jsonl.gz    (the same, gzip-encoded, with compress=True)
+    <dir>/index.jsonl             append-only completion log (one line per point)
+    <dir>/MANIFEST.json           canonical manifest, written on completion
 
 Durability protocol, per finished point:
 
 1. the artifact is written to a hidden temp file, flushed and fsync'd,
 2. the temp file is atomically renamed to its final name (and the directory
    entry fsync'd), then
-3. an index line ``{"index", "fingerprint", "artifact", "label"}`` is
-   appended to ``index.jsonl`` and fsync'd.
+3. an index line ``{"index", "fingerprint", "artifact", "label", "sha256",
+   "replicate", "wall_clock_s", "timesteps", "step_cost_s"}`` is appended to
+   ``index.jsonl`` and fsync'd.
 
 An index line therefore *implies* a complete artifact: a crash between (2)
 and (3) leaves a finished artifact that is simply re-run on resume — and
 because artifact bytes are a pure function of the spec
-(:func:`~repro.scenarios.artifacts.run_lines`), the re-run overwrites it with
-identical content.  ``index.jsonl`` records completion order, which differs
-between serial, parallel and resumed executions; the canonical, byte-stable
-view of a finished sweep is the artifact files plus ``MANIFEST.json``.
+(:func:`~repro.scenarios.artifacts.run_bytes`, deterministic even when
+gzip-compressed), the re-run overwrites it with identical content.
+``index.jsonl`` records completion order, which differs between serial,
+parallel and resumed executions; the canonical, byte-stable view of a
+finished sweep is the artifact files plus ``MANIFEST.json`` *modulo the cost
+columns* — ``wall_clock_s`` / ``step_cost_s`` are observed timings, so
+:func:`strip_costs` removes them before any identity comparison.
 
 Resumption keys on :meth:`~repro.scenarios.spec.ScenarioSpec.fingerprint`
 (canonical-JSON SHA-256): a point is skipped iff its fingerprint appears in
 the index *and* its artifact file is still present with exactly the recorded
 bytes (the index line also carries a whole-file SHA-256).  Torn tail writes
-in the index (a crash mid-append) are tolerated and ignored.
+in the index (a crash mid-append) are tolerated and ignored.  The recorded
+wall-clock costs feed :func:`order_most_expensive_first`, which lets a
+resume schedule its missing points longest-first so parallel stragglers
+finish sooner.
 """
 
 from __future__ import annotations
@@ -34,16 +42,78 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.scenarios.artifacts import artifact_name, run_lines
+from repro.scenarios.artifacts import artifact_name, maybe_decompress, run_bytes
 from repro.scenarios.runner import RunRecord
 from repro.scenarios.spec import canonical_fingerprint
+from repro.scenarios.sweep import flatten_dotted, split_replicate
 from repro.util.validation import require
 
 INDEX_NAME = "index.jsonl"
 MANIFEST_NAME = "MANIFEST.json"
+
+#: Per-entry manifest/index columns that record observed execution cost.
+#: They are the only nondeterministic bytes a finished sweep directory
+#: carries, so identity checks compare manifests through :func:`strip_costs`.
+COST_KEYS = ("wall_clock_s", "step_cost_s")
+
+
+def strip_costs(manifest: dict) -> dict:
+    """Return ``manifest`` with the per-entry cost columns removed.
+
+    Serial, parallel and resumed runs of one sweep produce manifests that
+    are identical *after* this projection; the cost columns themselves are
+    timing observations and legitimately differ run to run.
+    """
+    return {
+        **manifest,
+        "entries": [
+            {key: value for key, value in entry.items() if key not in COST_KEYS}
+            for entry in manifest.get("entries", [])
+        ],
+    }
+
+
+def iter_index_entries(index_path: Path):
+    """Yield the parseable dict entries of an ``index.jsonl`` file.
+
+    Blank lines, torn tail writes and non-dict lines are skipped — the same
+    tolerance the resume scan applies.
+    """
+    if not index_path.exists():
+        return
+    for line in index_path.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(entry, dict):
+            yield entry
+
+
+def detect_compression(directory: Path) -> bool | None:
+    """Return the compression a directory's recorded artifacts use, if any.
+
+    The index is authoritative (its artifact names reflect what the writer
+    produced); a directory with artifacts but no index falls back to the
+    filenames on disk.  ``None`` means no evidence either way (fresh or
+    empty directory).
+    """
+    directory = Path(directory)
+    for entry in iter_index_entries(directory / INDEX_NAME):
+        artifact = entry.get("artifact")
+        if isinstance(artifact, str) and artifact:
+            return artifact.endswith(".gz")
+    if any(directory.glob("[0-9]*.jsonl.gz")):
+        return True
+    if any(directory.glob("[0-9]*.jsonl")):
+        return False
+    return None
 
 
 def _fsync_directory(directory: Path) -> None:
@@ -62,11 +132,11 @@ def _fsync_directory(directory: Path) -> None:
         os.close(fd)
 
 
-def _write_durable(path: Path, text: str) -> None:
-    """Write ``text`` to ``path`` via fsync'd temp file + atomic rename."""
+def _write_durable(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via fsync'd temp file + atomic rename."""
     temp = path.parent / f".tmp-{path.name}"
-    with temp.open("w", encoding="utf-8") as handle:
-        handle.write(text)
+    with temp.open("wb") as handle:
+        handle.write(data)
         handle.flush()
         os.fsync(handle.fileno())
     # os.replace, not Path.rename: a resume re-running a point whose artifact
@@ -107,11 +177,29 @@ class StreamResult:
 
 
 class SweepStream:
-    """One streamed sweep directory: durable writes, resumable reads."""
+    """One streamed sweep directory: durable writes, resumable reads.
 
-    def __init__(self, directory: str | Path):
+    ``compress`` selects gzip artifact encoding for new writes.  ``None``
+    (the default) auto-detects from what the directory already records —
+    resuming a compressed sweep keeps compressing without being told — and
+    falls back to uncompressed for a fresh directory.  An explicit value
+    that contradicts the directory's recorded format is an error: mixing
+    encodings within one sweep would break byte-identity with a serial run.
+    """
+
+    def __init__(self, directory: str | Path, compress: bool | None = None):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        detected = detect_compression(self.directory)
+        require(
+            compress is None or detected is None or compress == detected,
+            f"{self.directory} already records "
+            f"{'compressed' if detected else 'uncompressed'} artifacts; "
+            f"compress={compress} would mix encodings within one sweep",
+        )
+        self.compress = detected if compress is None else compress
+        if self.compress is None:
+            self.compress = False
         self._index_handle = None
         # Entries recorded by *this* stream object — trusted without
         # re-reading the files back (we just wrote and fsync'd them), so
@@ -130,22 +218,33 @@ class SweepStream:
 
     # -- writing --------------------------------------------------------------
 
-    def record(self, index: int, record: RunRecord) -> Path:
+    def record(self, index: int, record: RunRecord, wall_clock_s: float | None = None) -> Path:
         """Durably persist one finished point; return its artifact path.
 
         Appends nothing until the artifact itself is safely on disk — see the
-        module docstring for the crash-ordering argument.
+        module docstring for the crash-ordering argument.  ``wall_clock_s``
+        is the point's measured execution time; it lands in the index (and
+        later the manifest) as the ``wall_clock_s`` / ``step_cost_s`` cost
+        columns, never in the artifact itself — artifact bytes stay a pure
+        function of the spec.
         """
         fingerprint = record.spec.fingerprint()
-        path = self.directory / artifact_name(index, record.spec.label)
-        text = "\n".join(run_lines(record)) + "\n"
-        _write_durable(path, text)
+        path = self.directory / artifact_name(index, record.spec.label, self.compress)
+        data = run_bytes(record, compress=self.compress)
+        _write_durable(path, data)
+        timesteps = record.spec.timesteps
         entry = {
             "index": index,
             "fingerprint": fingerprint,
             "artifact": path.name,
             "label": record.spec.label,
-            "sha256": hashlib.sha256(text.encode("utf-8")).hexdigest(),
+            "sha256": hashlib.sha256(data).hexdigest(),
+            "replicate": split_replicate(record.spec.label)[1],
+            "wall_clock_s": wall_clock_s,
+            "timesteps": timesteps,
+            "step_cost_s": (
+                wall_clock_s / timesteps if wall_clock_s is not None and timesteps else None
+            ),
         }
         if self._index_handle is None:
             self._index_handle = self.index_path.open("a", encoding="utf-8")
@@ -180,16 +279,8 @@ class SweepStream:
         writes from a crash) are ignored.
         """
         entries: dict[str, dict] = {}
-        if not self.index_path.exists():
-            return entries
-        for line in self.index_path.read_text(encoding="utf-8").splitlines():
-            if not line.strip():
-                continue
-            try:
-                entry = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if not isinstance(entry, dict) or "fingerprint" not in entry:
+        for entry in iter_index_entries(self.index_path):
+            if "fingerprint" not in entry:
                 continue
             if self._artifact_matches(entry):
                 entries[entry["fingerprint"]] = entry
@@ -208,8 +299,10 @@ class SweepStream:
             return False
         try:
             data = artifact.read_bytes()
-            first = json.loads(data.split(b"\n", 1)[0])
-        except (OSError, json.JSONDecodeError):
+            first = json.loads(maybe_decompress(data).split(b"\n", 1)[0])
+        except (OSError, EOFError, zlib.error, json.JSONDecodeError):
+            # OSError covers unreadable files and bad gzip headers; EOFError/
+            # zlib.error cover a truncated or corrupted compressed stream.
             return False
         if hashlib.sha256(data).hexdigest() != entry.get("sha256"):
             return False
@@ -223,10 +316,11 @@ class SweepStream:
         """Write ``MANIFEST.json`` for a fully recorded sweep; return its entries.
 
         The manifest lists every point in submission order with its
-        fingerprint and artifact name — a deterministic function of the spec
-        list alone, so serial, parallel and resumed runs of the same sweep
-        produce byte-identical manifests.  Raises if any point is missing
-        (the sweep is not actually finished).
+        fingerprint, artifact name, replicate id and cost columns.
+        Everything except the cost columns is a deterministic function of
+        the spec list alone, so serial, parallel and resumed runs of the
+        same sweep produce manifests identical under :func:`strip_costs`.
+        Raises if any point is missing (the sweep is not actually finished).
 
         ``verified`` is the ``fingerprint -> entry`` map of pre-existing
         points already checked by :meth:`completed` (the resume path passes
@@ -247,13 +341,17 @@ class SweepStream:
             # artifact_name(index, spec.label); it differs only when a resume
             # reordered the spec list, and then the recorded name is the one
             # that exists on disk.
+            recorded = completed[fingerprint]
             entries.append(
                 {
                     "index": index,
                     "fingerprint": fingerprint,
-                    "artifact": completed[fingerprint]["artifact"],
+                    "artifact": recorded["artifact"],
                     "label": spec.label,
-                    "sha256": completed[fingerprint].get("sha256"),
+                    "sha256": recorded.get("sha256"),
+                    "replicate": split_replicate(spec.label)[1],
+                    "wall_clock_s": recorded.get("wall_clock_s"),
+                    "step_cost_s": recorded.get("step_cost_s"),
                 }
             )
         require(
@@ -261,8 +359,68 @@ class SweepStream:
             f"cannot finalize sweep stream at {self.directory}: "
             f"points {missing} have no recorded artifact",
         )
-        manifest = {"points": len(entries), "entries": entries}
+        manifest = {"points": len(entries), "compressed": self.compress, "entries": entries}
         _write_durable(
-            self.manifest_path, json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+            self.manifest_path,
+            (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode("utf-8"),
         )
         return entries
+
+
+# -- cost-aware resume scheduling ---------------------------------------------
+
+#: Above this many (missing x completed) pairs the neighbor scan would cost
+#: more than it saves; scheduling falls back to submission order.
+_NEIGHBOR_SCAN_LIMIT = 1_000_000
+
+
+def order_most_expensive_first(spec_list, fingerprints, completed, todo):
+    """Order the missing point indices by estimated cost, descending.
+
+    Each missing point's wall clock is estimated from its *neighbors along
+    the varying axes* — completed points whose flattened specs differ from
+    it in at most one varying key (``name`` excluded; a replicate's siblings
+    differ only in ``seed`` and so count as neighbors).  Points with no
+    neighbor fall back to the mean completed cost.  Ties keep submission
+    order, so the schedule is deterministic; execution order only affects
+    ``index.jsonl``, never artifact bytes.
+    """
+    known: dict[int, float] = {}
+    for index, fingerprint in enumerate(fingerprints):
+        entry = completed.get(fingerprint)
+        cost = entry.get("wall_clock_s") if entry else None
+        if isinstance(cost, (int, float)) and not isinstance(cost, bool):
+            known[index] = float(cost)
+    todo = list(todo)
+    if not known or not todo:
+        return todo
+    if len(known) * len(todo) > _NEIGHBOR_SCAN_LIMIT:
+        return todo
+    flats = {index: flatten_dotted(spec_list[index].to_dict()) for index in (*known, *todo)}
+    for flat in flats.values():
+        flat.pop("name", None)
+    indices = sorted(flats)
+    keys = sorted({key for flat in flats.values() for key in flat})
+    # Keys that take identical value-partitions across the grid are one
+    # effective axis (e.g. a kappa sweep moves both healer_kwargs.kappa and
+    # the synced run-parameter kappa) — count them as a single difference.
+    signatures: dict[tuple, str] = {}
+    for key in keys:
+        signature = tuple(
+            json.dumps(flats[index].get(key), sort_keys=True) for index in indices
+        )
+        if len(set(signature)) > 1:
+            signatures.setdefault(signature, key)
+    axes = list(signatures.values())
+    mean_cost = sum(known.values()) / len(known)
+
+    def estimate(missing: int) -> float:
+        target = flats[missing]
+        neighbors = [
+            cost
+            for index, cost in known.items()
+            if sum(1 for key in axes if flats[index].get(key) != target.get(key)) <= 1
+        ]
+        return sum(neighbors) / len(neighbors) if neighbors else mean_cost
+
+    return sorted(todo, key=lambda index: (-estimate(index), index))

@@ -11,6 +11,10 @@ point inherits the base seed, so the only thing varying along an axis is the
 axis itself (a kappa sweep compares the same initial graph and the same
 churn trace); set ``derive_seeds=True`` for replicate-style sweeps, where
 each point gets a deterministic seed derived from its axis assignment.
+``replicates=N`` goes further: every grid point expands into ``N`` specs,
+each with a seed derived from the axis assignment *and* the replicate id, so
+the paper's statistical claims can be estimated over independent RNG draws
+at every point (``repro report`` aggregates them back per base point).
 Either way expansion is a pure function of the sweep document — independent
 of execution order and worker count — so
 ``run_scenarios(sweep.expand(), workers=4)`` is bit-identical to
@@ -20,6 +24,7 @@ of execution order and worker count — so
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field, fields
 
 from repro.scenarios.spec import ScenarioSpec, canonical_fingerprint
@@ -28,6 +33,43 @@ from repro.util.validation import require
 
 #: Axis prefixes that address component kwargs via a dotted path.
 _KWARGS_FIELDS = ("healer_kwargs", "adversary_kwargs", "topology_kwargs")
+
+#: The trailing replicate marker ``expand()`` bakes into point names when
+#: ``replicates > 1`` — the single format the stream index and the report's
+#: per-base-point aggregation parse back out.
+_REPLICATE_SUFFIX = re.compile(r"\[rep=(\d+)\]$")
+
+
+def flatten_dotted(mapping: dict, prefix: str = "") -> dict:
+    """Flatten nested dicts to dotted keys; non-dict values pass through.
+
+    This is the single definition of the dotted axis-key space a spec spans
+    (``healer_kwargs.kappa``): axis inference in the report generator and
+    cost-neighbor detection in the resume scheduler both flatten through
+    here, so they can never disagree about what counts as an axis key.
+    """
+    flat: dict = {}
+    for key, value in mapping.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(flatten_dotted(value, prefix=f"{dotted}."))
+        else:
+            flat[dotted] = value
+    return flat
+
+
+def split_replicate(label: str | None) -> tuple[str | None, int | None]:
+    """Split a point label into ``(base label, replicate id)``.
+
+    Labels without a trailing ``[rep=N]`` marker return ``(label, None)`` —
+    they are single-shot points, not members of a replicate group.
+    """
+    if not label:
+        return label, None
+    match = _REPLICATE_SUFFIX.search(label)
+    if match is None:
+        return label, None
+    return label[: match.start()], int(match.group(1))
 
 
 def _axis_targets() -> set[str]:
@@ -90,12 +132,22 @@ class SweepSpec:
         assignment>)`` — deterministic but independent per point (use for
         replicate-style sweeps).  Ignored when an axis sweeps ``seed``
         itself.
+    replicates:
+        How many independently-seeded copies of each grid point to expand
+        (default 1 — the pre-replicate behavior, byte-for-byte).  With
+        ``N > 1`` every point becomes ``N`` specs named
+        ``<point>[rep=0] .. <point>[rep=N-1]``, each seeded
+        ``derive_seed(base.seed, "sweep", <canonical assignment>,
+        "replicate", rep)`` — so replicate fingerprints are pairwise
+        distinct yet stable under axis reordering.  Incompatible with a
+        ``seed`` axis (sweep the seed or replicate, not both).
     """
 
     base: ScenarioSpec
     axes: dict = field(default_factory=dict)
     name: str | None = None
     derive_seeds: bool = False
+    replicates: int = 1
 
     @property
     def label(self) -> str:
@@ -103,9 +155,22 @@ class SweepSpec:
         return self.name or self.base.label
 
     def validate(self) -> "SweepSpec":
-        """Check the base spec and every axis key/value list."""
+        """Check the base spec, every axis key/value list and the replicate count."""
         self.base.validate()
-        require(bool(self.axes), "a sweep needs at least one axis")
+        require(
+            isinstance(self.replicates, int) and not isinstance(self.replicates, bool),
+            "replicates must be an integer",
+        )
+        require(self.replicates >= 1, "replicates must be at least 1")
+        require(
+            bool(self.axes) or self.replicates > 1,
+            "a sweep needs at least one axis (or replicates > 1)",
+        )
+        require(
+            not (self.replicates > 1 and "seed" in self.axes),
+            "replicates > 1 derives a seed per replicate; it cannot be combined "
+            "with a 'seed' axis — sweep the seed or replicate, not both",
+        )
         for key, values in self.axes.items():
             require(
                 isinstance(values, (list, tuple)) and len(values) > 0,
@@ -127,7 +192,12 @@ class SweepSpec:
         return assignments
 
     def expand(self) -> list[ScenarioSpec]:
-        """Cross-product the axes into concrete, individually-seeded specs."""
+        """Cross-product the axes into concrete, individually-seeded specs.
+
+        With ``replicates > 1`` the replicate id varies fastest: the grid is
+        ``point0[rep=0..N-1], point1[rep=0..N-1], ...``, so a resumed run's
+        artifact indices stay aligned with the un-replicated grid order.
+        """
         specs: list[ScenarioSpec] = []
         sweeps_seed = any(key == "seed" for key in self.axes)
         for assignment in self.points():
@@ -135,12 +205,23 @@ class SweepSpec:
             for key, value in assignment.items():
                 spec = apply_axis(spec, key, value)
             suffix = ",".join(f"{key}={value}" for key, value in assignment.items())
-            point_name = f"{self.label}[{suffix}]"
-            overrides: dict = {"name": point_name}
-            if self.derive_seeds and not sweeps_seed:
-                canonical = json.dumps(assignment, sort_keys=True)
-                overrides["seed"] = derive_seed(self.base.seed, "sweep", canonical)
-            specs.append(spec.with_overrides(**overrides))
+            point_name = f"{self.label}[{suffix}]" if suffix else self.label
+            canonical = json.dumps(assignment, sort_keys=True)
+            if self.replicates == 1:
+                overrides: dict = {"name": point_name}
+                if self.derive_seeds and not sweeps_seed:
+                    overrides["seed"] = derive_seed(self.base.seed, "sweep", canonical)
+                specs.append(spec.with_overrides(**overrides))
+                continue
+            for rep in range(self.replicates):
+                specs.append(
+                    spec.with_overrides(
+                        name=f"{point_name}[rep={rep}]",
+                        seed=derive_seed(
+                            self.base.seed, "sweep", canonical, "replicate", rep
+                        ),
+                    )
+                )
         return specs
 
     def fingerprint(self) -> str:
@@ -161,12 +242,13 @@ class SweepSpec:
             "axes": {key: list(values) for key, values in self.axes.items()},
             "name": self.name,
             "derive_seeds": self.derive_seeds,
+            "replicates": self.replicates,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "SweepSpec":
         """Build a sweep from a dict, rejecting unknown keys."""
-        known = {"base", "axes", "name", "derive_seeds"}
+        known = {"base", "axes", "name", "derive_seeds", "replicates"}
         unknown = sorted(set(data) - known)
         require(not unknown, f"unknown SweepSpec fields {unknown}; known fields: {sorted(known)}")
         require("base" in data and "axes" in data, "SweepSpec requires 'base' and 'axes'")
@@ -175,6 +257,7 @@ class SweepSpec:
             axes=dict(data["axes"]),
             name=data.get("name"),
             derive_seeds=data.get("derive_seeds", False),
+            replicates=data.get("replicates", 1),
         )
 
     def to_json(self) -> str:

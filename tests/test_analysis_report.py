@@ -26,6 +26,8 @@ from repro.util.validation import ValidationError
 GOLDEN = Path(__file__).parent / "golden"
 SWEEP_DIR = GOLDEN / "report_sweep"
 EXPECTED_DIR = GOLDEN / "report_expected"
+REPLICATES_SWEEP_DIR = GOLDEN / "report_replicates_sweep"
+REPLICATES_EXPECTED_DIR = GOLDEN / "report_replicates_expected"
 
 
 def test_report_matches_golden_files(tmp_path):
@@ -40,6 +42,30 @@ def test_report_matches_golden_files(tmp_path):
         "summary.csv",
         "timeline.csv",
     ]
+
+
+def test_replicate_report_matches_golden_files(tmp_path):
+    """The compressed replicates=3 sweep: aggregation + CI columns pinned."""
+    report = generate_report(REPLICATES_SWEEP_DIR, out_dir=tmp_path, ci=True)
+    for name in ("report.md", "summary.csv", "replicates.csv", "timeline.csv"):
+        produced = (tmp_path / name).read_bytes()
+        expected = (REPLICATES_EXPECTED_DIR / name).read_bytes()
+        assert produced == expected, f"{name} deviates from the golden file"
+    assert [path.name for path in report.written] == [
+        "report.md",
+        "summary.csv",
+        "replicates.csv",
+        "timeline.csv",
+    ]
+    # Per-replicate seeds are the replication mechanism, never an axis.
+    assert list(report.axes) == ["healer"]
+    assert "## Replicates" in report.markdown
+
+
+def test_replicate_report_without_ci_omits_the_column():
+    report = generate_report(REPLICATES_SWEEP_DIR, ci=False)
+    assert "ci95" not in report.markdown
+    assert "## Replicates" in report.markdown
 
 
 def test_report_detects_the_sweep_axes():

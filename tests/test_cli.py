@@ -1,0 +1,219 @@
+"""CLI error-path coverage: exit codes and stderr for every subcommand.
+
+ISSUE 5 satellite: unknown names must fail with did-you-mean text, missing
+and tampered stream directories must fail with a pointed message rather
+than a traceback, and ``--resume`` with a mismatched ``--replicates`` must
+refuse before silently re-running the whole grid.  All failures exit 2 (a
+usage/input error); a replay that *runs* but deviates exits 1.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import ScenarioSpec, SweepSpec, run_scenarios
+from repro.scenarios.cli import main as cli_main
+
+BASE = ScenarioSpec(
+    name="cli-test",
+    healer="xheal",
+    adversary="random",
+    adversary_kwargs={"delete_probability": 0.6},
+    topology="random-regular",
+    topology_kwargs={"n": 12, "degree": 4},
+    timesteps=2,
+    exact_expansion_limit=0,
+    stretch_sample_pairs=5,
+    seed=2,
+)
+
+SWEEP = SweepSpec(base=BASE, axes={"timesteps": [2, 3]})
+
+
+@pytest.fixture
+def spec_file(tmp_path) -> Path:
+    path = tmp_path / "spec.json"
+    path.write_text(BASE.to_json())
+    return path
+
+
+@pytest.fixture
+def sweep_file(tmp_path) -> Path:
+    path = tmp_path / "sweep.json"
+    path.write_text(SWEEP.to_json())
+    return path
+
+
+def test_list_exits_zero(capsys):
+    assert cli_main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "healers:" in out and "xheal" in out
+
+
+def test_run_unknown_healer_suggests_the_nearest_name(tmp_path, capsys):
+    spec = tmp_path / "typo.json"
+    spec.write_text(BASE.with_overrides(healer="xhea").to_json())
+    assert cli_main(["run", str(spec)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "unknown healer 'xhea'" in err
+    assert "did you mean 'xheal'?" in err
+
+
+def test_run_unknown_adversary_suggests_the_nearest_name(tmp_path, capsys):
+    spec = tmp_path / "typo.json"
+    spec.write_text(BASE.with_overrides(adversary="randm").to_json())
+    assert cli_main(["run", str(spec)]) == 2
+    assert "did you mean 'random'?" in capsys.readouterr().err
+
+
+def test_run_missing_spec_file_exits_two(tmp_path, capsys):
+    assert cli_main(["run", str(tmp_path / "absent.json")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_run_malformed_spec_file_exits_two(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert cli_main(["run", str(bad)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_sweep_unknown_axis_names_the_sweepable_fields(tmp_path, capsys):
+    path = tmp_path / "sweep.json"
+    document = SWEEP.to_dict()
+    document["axes"] = {"timestps": [2, 3]}
+    path.write_text(json.dumps(document))
+    assert cli_main(["sweep", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert "timestps" in err and "not a sweepable field" in err
+
+
+def test_sweep_rejects_artifact_dir_with_stream_to(sweep_file, tmp_path, capsys):
+    code = cli_main(
+        [
+            "sweep",
+            str(sweep_file),
+            "--artifact-dir",
+            str(tmp_path / "a"),
+            "--stream-to",
+            str(tmp_path / "b"),
+        ]
+    )
+    assert code == 2
+    assert "--artifact-dir" in capsys.readouterr().err
+
+
+def test_sweep_rejects_compress_without_streaming(sweep_file, capsys):
+    assert cli_main(["sweep", str(sweep_file), "--compress"]) == 2
+    assert "--compress" in capsys.readouterr().err
+
+
+def test_resume_replicates_mismatch_is_refused(sweep_file, tmp_path, capsys):
+    directory = tmp_path / "dir"
+    assert (
+        cli_main(
+            ["sweep", str(sweep_file), "--stream-to", str(directory), "--replicates", "3"]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    # Fewer replicates than recorded.
+    assert (
+        cli_main(
+            ["sweep", str(sweep_file), "--resume", str(directory), "--replicates", "2"]
+        )
+        == 2
+    )
+    err = capsys.readouterr().err
+    assert "replicate ids up to 2" in err and "--replicates 2" in err
+    # No replicates at all against a replicated directory.
+    assert cli_main(["sweep", str(sweep_file), "--resume", str(directory)]) == 2
+    assert "replicates=1" in capsys.readouterr().err
+    # The matching count resumes cleanly (everything already recorded).
+    assert (
+        cli_main(
+            ["sweep", str(sweep_file), "--resume", str(directory), "--replicates", "3"]
+        )
+        == 0
+    )
+    assert "executed 0, resumed 6" in capsys.readouterr().out
+
+
+def test_resume_with_replicates_over_an_unreplicated_directory_is_refused(
+    sweep_file, tmp_path, capsys
+):
+    directory = tmp_path / "dir"
+    assert cli_main(["sweep", str(sweep_file), "--stream-to", str(directory)]) == 0
+    capsys.readouterr()
+    assert (
+        cli_main(
+            ["sweep", str(sweep_file), "--resume", str(directory), "--replicates", "2"]
+        )
+        == 2
+    )
+    assert "streamed without replicates" in capsys.readouterr().err
+
+
+def test_report_missing_directory_exits_two(tmp_path, capsys):
+    assert cli_main(["report", str(tmp_path / "absent")]) == 2
+    assert "not a sweep directory" in capsys.readouterr().err
+
+
+def test_report_empty_directory_exits_two(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert cli_main(["report", str(empty)]) == 2
+    assert "no run artifacts" in capsys.readouterr().err
+
+
+def test_report_tampered_artifact_exits_two(tmp_path, capsys):
+    directory = tmp_path / "dir"
+    run_scenarios(SWEEP.expand(), stream_to=directory)
+    victim = next(directory.glob("0000-*.jsonl"))
+    victim.write_text("{torn artifact line\n")
+    assert cli_main(["report", str(directory)]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "not valid JSONL" in err
+
+
+def test_report_watch_missing_directory_exits_two(tmp_path, capsys):
+    assert cli_main(["report", str(tmp_path / "absent"), "--watch"]) == 2
+    assert "not a sweep directory" in capsys.readouterr().err
+
+
+def test_report_watch_empty_directory_gives_up_after_max_refreshes(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    code = cli_main(
+        ["report", str(empty), "--watch", "--max-refreshes", "1", "--interval", "0"]
+    )
+    assert code == 2
+    assert "no points appeared" in capsys.readouterr().err
+
+
+def test_report_watch_of_a_finished_sweep_matches_one_shot_output(tmp_path, capsys):
+    directory = tmp_path / "dir"
+    run_scenarios(SWEEP.expand(), stream_to=directory)
+    assert cli_main(["report", str(directory)]) == 0
+    one_shot = capsys.readouterr().out
+    assert cli_main(["report", str(directory), "--watch", "--max-refreshes", "1"]) == 0
+    watched = capsys.readouterr()
+    assert watched.out == one_shot
+    assert "[watch]" in watched.err and "complete" in watched.err
+
+
+def test_replay_missing_artifact_exits_two(tmp_path, capsys):
+    assert cli_main(["replay", str(tmp_path / "absent.jsonl")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_run_replay_roundtrip_including_compressed_artifact(spec_file, tmp_path, capsys):
+    artifact = tmp_path / "run.jsonl.gz"
+    assert cli_main(["run", str(spec_file), "--artifact", str(artifact)]) == 0
+    capsys.readouterr()
+    assert cli_main(["replay", str(artifact)]) == 0
+    assert "replay identical: True" in capsys.readouterr().out

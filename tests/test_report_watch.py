@@ -1,0 +1,172 @@
+"""Differential guarantees for `repro report --watch` and compressed reports.
+
+ISSUE 5 satellite: a watch snapshot taken after k of n streamed points must
+equal a fresh one-shot ``repro report`` over the same partial directory; the
+final watch output (once the sweep's MANIFEST lands) must be byte-identical
+to the one-shot report of the finished directory — markdown and every
+written CSV; and a compressed sweep directory must report identically to an
+uncompressed one of the same grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import ReportWatcher, generate_report, watch_report
+from repro.scenarios import ScenarioSpec, SweepSpec, run_scenarios
+from repro.util.validation import ValidationError
+
+BASE = ScenarioSpec(
+    name="watch-test",
+    healer="xheal",
+    adversary="random",
+    adversary_kwargs={"delete_probability": 0.6},
+    topology="random-regular",
+    topology_kwargs={"n": 12, "degree": 4},
+    timesteps=4,
+    metric_every=2,
+    exact_expansion_limit=10,
+    stretch_sample_pairs=10,
+    seed=21,
+)
+
+SWEEP = SweepSpec(base=BASE, axes={"timesteps": [3, 4]}, replicates=2)
+
+
+def _out_files(directory):
+    return {path.name: path.read_bytes() for path in directory.iterdir()}
+
+
+@pytest.mark.parametrize("compress", [False, True])
+def test_watch_snapshots_equal_one_shot_reports(tmp_path, compress):
+    specs = SWEEP.expand()
+    directory = tmp_path / "live"
+    k = 2
+    run_scenarios(specs[:k], stream_to=directory, compress=compress)
+    # A prefix run finalizes its own manifest; a genuinely crashed sweep
+    # never gets that far, so remove it to model the mid-sweep state.
+    (directory / "MANIFEST.json").unlink()
+
+    watcher = ReportWatcher(directory, out_dir=tmp_path / "watch-out", ci=True)
+    snapshot = watcher.refresh()
+    assert len(snapshot.points) == k
+    assert not watcher.complete
+    one_shot = generate_report(directory, out_dir=tmp_path / "partial-out", ci=True)
+    assert snapshot.markdown == one_shot.markdown
+    assert _out_files(tmp_path / "watch-out") == _out_files(tmp_path / "partial-out")
+
+    # Finish the sweep; the next refresh must see the manifest and converge
+    # byte-for-byte with a fresh report of the completed directory.
+    run_scenarios(specs, resume=directory)
+    final = watcher.refresh()
+    assert watcher.complete
+    assert len(final.points) == len(specs)
+    reference = generate_report(directory, out_dir=tmp_path / "full-out", ci=True)
+    assert final.markdown == reference.markdown
+    assert _out_files(tmp_path / "watch-out") == _out_files(tmp_path / "full-out")
+    assert [path.name for path in final.written] == [
+        path.name for path in reference.written
+    ]
+
+
+def test_watch_report_polls_until_the_sweep_completes(tmp_path):
+    specs = SWEEP.expand()
+    directory = tmp_path / "live"
+    run_scenarios(specs[:1], stream_to=directory)
+    (directory / "MANIFEST.json").unlink()
+    sleeps = []
+
+    def sleep_then_finish(seconds: float) -> None:
+        sleeps.append(seconds)
+        run_scenarios(specs, resume=directory)
+
+    snapshots = []
+    report = watch_report(
+        directory,
+        interval=0.25,
+        sleep=sleep_then_finish,
+        on_refresh=lambda watcher, snapshot: snapshots.append(
+            len(snapshot.points) if snapshot else 0
+        ),
+    )
+    assert sleeps == [0.25]
+    assert snapshots == [1, len(specs)]
+    assert report.markdown == generate_report(directory).markdown
+
+
+def test_watch_skips_tampered_artifacts_until_repaired(tmp_path):
+    specs = SWEEP.expand()
+    directory = tmp_path / "live"
+    result = run_scenarios(specs, stream_to=directory)
+    result.manifest_path.unlink()  # still "running" from the watcher's view
+    victim = result.paths[0]
+    victim.write_bytes(b"garbage")
+
+    watcher = ReportWatcher(directory)
+    snapshot = watcher.refresh()
+    assert len(snapshot.points) == len(specs) - 1
+    assert all(point.artifact != victim.name for point in snapshot.points)
+
+    run_scenarios(specs, resume=directory)  # repairs the tampered point
+    final = watcher.refresh()
+    assert watcher.complete
+    assert len(final.points) == len(specs)
+    assert final.markdown == generate_report(directory).markdown
+
+
+def test_watch_retry_list_stays_bounded_across_refreshes(tmp_path):
+    """An unverifiable entry is retried once per refresh, never duplicated."""
+    specs = SWEEP.expand()
+    directory = tmp_path / "live"
+    result = run_scenarios(specs[:2], stream_to=directory)
+    result.manifest_path.unlink()
+    result.paths[0].unlink()  # its index entry can never verify
+
+    watcher = ReportWatcher(directory)
+    for _ in range(6):
+        snapshot = watcher.refresh()
+    assert len(watcher._retry) == 1
+    assert len(snapshot.points) == 1
+
+
+def test_watch_never_completes_over_an_unverifiable_manifest_entry(tmp_path):
+    """Manifest stragglers get the same verification as indexed entries."""
+    specs = SWEEP.expand()
+    result = run_scenarios(specs, stream_to=tmp_path / "done")
+    victim = result.paths[0]
+    victim.write_text('{"kind": "spec", "data": {}}\n{"kind": "summary", "data": {}}\n')
+
+    watcher = ReportWatcher(tmp_path / "done")
+    snapshot = watcher.refresh()
+    assert not watcher.complete
+    assert len(snapshot.points) == len(specs) - 1
+    assert all(point.artifact != victim.name for point in snapshot.points)
+
+    run_scenarios(specs, resume=tmp_path / "done")  # repair
+    final = watcher.refresh()
+    assert watcher.complete and len(final.points) == len(specs)
+
+
+def test_watch_attaches_to_an_already_finished_sweep(tmp_path):
+    specs = SWEEP.expand()
+    run_scenarios(specs, stream_to=tmp_path / "done")
+    report = watch_report(tmp_path / "done", max_refreshes=1)
+    assert report.markdown == generate_report(tmp_path / "done").markdown
+
+
+def test_watch_requires_an_existing_directory(tmp_path):
+    with pytest.raises(ValidationError, match="not a sweep directory"):
+        ReportWatcher(tmp_path / "missing")
+
+
+def test_compressed_and_uncompressed_directories_report_identically(tmp_path):
+    """Same grid, same directory *name* -> byte-identical reports."""
+    specs = SWEEP.expand()
+    plain_dir = tmp_path / "plain" / "sweep"
+    packed_dir = tmp_path / "packed" / "sweep"
+    run_scenarios(specs, stream_to=plain_dir)
+    run_scenarios(specs, stream_to=packed_dir, compress=True)
+    plain = generate_report(plain_dir, out_dir=tmp_path / "plain-out", ci=True)
+    packed = generate_report(packed_dir, out_dir=tmp_path / "packed-out", ci=True)
+    assert plain.markdown == packed.markdown
+    assert _out_files(tmp_path / "plain-out") == _out_files(tmp_path / "packed-out")

@@ -1,15 +1,20 @@
 """Streaming sweeps: durability, crash-resume differentials, byte-identity.
 
-The contract under test (ISSUE 3 tentpole): a sweep interrupted after ``k``
-of ``n`` points resumes with exactly ``n - k`` executions, and the final
-artifact set — point JSONL files plus ``MANIFEST.json`` — is byte-identical
-to an uninterrupted run, serial or parallel.  ``index.jsonl`` is the
+The contract under test (ISSUE 3 tentpole, extended by ISSUE 5): a sweep
+interrupted after ``k`` of ``n`` points resumes with exactly ``n - k``
+executions, and the final artifact set is byte-identical to an uninterrupted
+run, serial or parallel — compressed artifacts included (their decompressed
+bytes equal the uncompressed run's exactly).  ``index.jsonl`` is the
 append-only completion log and is deliberately excluded from the identity
-(it records completion order, which crashes and worker counts change).
+(it records completion order, which crashes and worker counts change);
+``MANIFEST.json`` is compared through
+:func:`~repro.scenarios.stream.strip_costs` because its per-entry
+``wall_clock_s``/``step_cost_s`` columns are timing observations.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 from pathlib import Path
 
@@ -18,7 +23,14 @@ import pytest
 from repro.scenarios import ScenarioSpec, SweepSpec, run_scenarios
 from repro.scenarios.artifacts import save_run
 from repro.scenarios.runner import execute_spec
-from repro.scenarios.stream import INDEX_NAME, MANIFEST_NAME, SweepStream
+from repro.scenarios.stream import (
+    COST_KEYS,
+    INDEX_NAME,
+    MANIFEST_NAME,
+    SweepStream,
+    order_most_expensive_first,
+    strip_costs,
+)
 from repro.util.validation import ValidationError
 
 BASE = ScenarioSpec(
@@ -39,13 +51,24 @@ BASE = ScenarioSpec(
 SWEEP = SweepSpec(base=BASE, axes={"timesteps": [3, 5], "healer_kwargs.kappa": [2, 4]})
 
 
-def canonical_files(directory: Path) -> dict[str, bytes]:
-    """The byte-identity surface: everything except the completion log."""
-    return {
+def canonical_files(directory: Path):
+    """The byte-identity surface of a sweep directory.
+
+    Artifact files compare byte-for-byte; the manifest compares with its
+    cost columns stripped (they are wall-clock observations, the only
+    legitimately nondeterministic bytes in a finished directory); the
+    completion log is excluded entirely.
+    """
+    directory = Path(directory)
+    files = {
         path.name: path.read_bytes()
-        for path in Path(directory).iterdir()
-        if path.name != INDEX_NAME
+        for path in directory.iterdir()
+        if path.name not in (INDEX_NAME, MANIFEST_NAME)
     }
+    manifest = directory / MANIFEST_NAME
+    if manifest.is_file():
+        files[MANIFEST_NAME] = strip_costs(json.loads(manifest.read_text()))
+    return files
 
 
 def test_streamed_artifacts_match_buffered_save_run(tmp_path):
@@ -201,3 +224,168 @@ def test_buffered_path_unchanged(tmp_path):
     specs = SWEEP.expand()[:2]
     records = run_scenarios(specs)
     assert [record.spec for record in records] == specs
+
+
+# -- compression (ISSUE 5) ----------------------------------------------------
+
+
+def test_compressed_stream_decompresses_to_the_uncompressed_bytes(tmp_path):
+    specs = SWEEP.expand()
+    plain = run_scenarios(specs, stream_to=tmp_path / "plain")
+    packed = run_scenarios(specs, stream_to=tmp_path / "gz", compress=True)
+    assert [path.name for path in packed.paths] == [
+        path.name + ".gz" for path in plain.paths
+    ]
+    for plain_path, packed_path in zip(plain.paths, packed.paths):
+        assert gzip.decompress(packed_path.read_bytes()) == plain_path.read_bytes()
+    manifest = json.loads(packed.manifest_path.read_text())
+    assert manifest["compressed"] is True
+
+
+def test_compressed_resume_autodetects_and_is_byte_identical(tmp_path):
+    specs = SWEEP.expand()
+    full = run_scenarios(specs, stream_to=tmp_path / "full", compress=True)
+    run_scenarios(specs[:2], stream_to=tmp_path / "crash", compress=True)
+    # No compress argument: the resume must detect the .gz encoding itself.
+    resumed = run_scenarios(specs, resume=tmp_path / "crash")
+    assert resumed.executed == len(specs) - 2
+    assert canonical_files(full.directory) == canonical_files(resumed.directory)
+
+
+def test_resume_refuses_to_mix_encodings(tmp_path):
+    specs = SWEEP.expand()
+    run_scenarios(specs[:2], stream_to=tmp_path / "dir")
+    with pytest.raises(ValidationError, match="mix encodings"):
+        run_scenarios(specs, resume=tmp_path / "dir", compress=True)
+
+
+def test_tampered_compressed_artifact_is_rerun(tmp_path):
+    specs = SWEEP.expand()
+    full = run_scenarios(specs, stream_to=tmp_path / "dir", compress=True)
+    pristine = canonical_files(full.directory)
+    victim = full.paths[1]
+    victim.write_bytes(b"\x1f\x8b not actually gzip")
+    resumed = run_scenarios(specs, resume=tmp_path / "dir")
+    assert resumed.executed == 1 and resumed.skipped == len(specs) - 1
+    assert canonical_files(resumed.directory) == pristine
+
+
+# -- replicates (ISSUE 5) -----------------------------------------------------
+
+REPLICATED = SweepSpec(base=BASE, axes={"timesteps": [3, 5]}, replicates=2)
+
+
+def test_replicates_expand_into_distinctly_seeded_points():
+    specs = REPLICATED.expand()
+    assert [spec.name for spec in specs] == [
+        "stream-test[timesteps=3][rep=0]",
+        "stream-test[timesteps=3][rep=1]",
+        "stream-test[timesteps=5][rep=0]",
+        "stream-test[timesteps=5][rep=1]",
+    ]
+    assert len({spec.seed for spec in specs}) == len(specs)
+    assert len({spec.fingerprint() for spec in specs}) == len(specs)
+
+
+def test_replicate_ids_are_threaded_into_index_and_manifest(tmp_path):
+    result = run_scenarios(REPLICATED.expand(), stream_to=tmp_path / "dir")
+    entries = [json.loads(line) for line in result.index_path.read_text().splitlines()]
+    assert sorted(entry["replicate"] for entry in entries) == [0, 0, 1, 1]
+    manifest = json.loads(result.manifest_path.read_text())
+    assert [entry["replicate"] for entry in manifest["entries"]] == [0, 1, 0, 1]
+
+
+def test_replicates_refuse_a_seed_axis():
+    with pytest.raises(ValidationError, match="seed"):
+        SweepSpec(base=BASE, axes={"seed": [1, 2]}, replicates=2).validate()
+
+
+def test_replicates_allow_an_axis_free_sweep(tmp_path):
+    sweep = SweepSpec(base=BASE.with_overrides(timesteps=3), axes={}, replicates=3)
+    specs = sweep.expand()
+    assert [spec.name for spec in specs] == [
+        "stream-test[rep=0]",
+        "stream-test[rep=1]",
+        "stream-test[rep=2]",
+    ]
+    with pytest.raises(ValidationError, match="at least one axis"):
+        SweepSpec(base=BASE, axes={}).validate()
+
+
+# -- cost columns and cost-aware resume (ISSUE 5) -----------------------------
+
+
+def test_index_and_manifest_record_cost_columns(tmp_path):
+    result = run_scenarios(SWEEP.expand(), stream_to=tmp_path / "dir")
+    entries = [json.loads(line) for line in result.index_path.read_text().splitlines()]
+    manifest = json.loads(result.manifest_path.read_text())
+    for entry in entries + manifest["entries"]:
+        assert entry["wall_clock_s"] > 0
+        assert entry["step_cost_s"] > 0
+    for index_entry in entries:
+        assert index_entry["step_cost_s"] == pytest.approx(
+            index_entry["wall_clock_s"] / index_entry["timesteps"]
+        )
+    assert set(COST_KEYS) <= set(manifest["entries"][0])
+    assert not set(COST_KEYS) & set(strip_costs(manifest)["entries"][0])
+
+
+def _rewrite_costs(index_path: Path, costs: dict[str, float]) -> None:
+    """Assign wall_clock_s per label in an existing index (test helper)."""
+    lines = []
+    for line in index_path.read_text().splitlines():
+        entry = json.loads(line)
+        entry["wall_clock_s"] = costs[entry["label"]]
+        entry["step_cost_s"] = entry["wall_clock_s"] / entry["timesteps"]
+        lines.append(json.dumps(entry, sort_keys=True))
+    index_path.write_text("\n".join(lines) + "\n")
+
+
+def test_resume_schedules_missing_points_most_expensive_first(tmp_path, monkeypatch):
+    """Estimates come from completed neighbors along the varying axes."""
+    import repro.scenarios.runner as runner_module
+
+    specs = SWEEP.expand()
+    # Grid order (sorted axes: healer_kwargs.kappa, then timesteps):
+    #   0: kappa=2,t=3   1: kappa=2,t=5   2: kappa=4,t=3   3: kappa=4,t=5
+    run_scenarios([specs[0], specs[1]], stream_to=tmp_path / "dir")
+    _rewrite_costs(
+        tmp_path / "dir" / INDEX_NAME,
+        {specs[0].label: 1.0, specs[1].label: 9.0},
+    )
+    order = []
+    real = runner_module.execute_spec
+    monkeypatch.setattr(
+        runner_module, "execute_spec", lambda spec: order.append(spec.name) or real(spec)
+    )
+    run_scenarios(specs, resume=tmp_path / "dir")
+    # Point 3 differs from the completed t=5 point only along kappa (cost 9);
+    # point 2 neighbors the t=3 point (cost 1) -> expensive first.
+    assert order == [specs[3].name, specs[2].name]
+
+
+def test_cost_ordering_falls_back_gracefully_without_costs():
+    specs = SWEEP.expand()
+    fingerprints = [spec.fingerprint() for spec in specs]
+    completed = {fingerprints[0]: {"artifact": "x", "wall_clock_s": None}}
+    assert order_most_expensive_first(specs, fingerprints, completed, [1, 2, 3]) == [1, 2, 3]
+
+
+def test_legacy_index_without_cost_columns_still_resumes(tmp_path):
+    """Directories from before the cost columns must resume untouched."""
+    specs = SWEEP.expand()
+    full = run_scenarios(specs, stream_to=tmp_path / "dir")
+    pristine = canonical_files(full.directory)
+    index = tmp_path / "dir" / INDEX_NAME
+    lines = []
+    for line in index.read_text().splitlines():
+        entry = json.loads(line)
+        for key in (*COST_KEYS, "timesteps", "replicate"):
+            entry.pop(key, None)
+        lines.append(json.dumps(entry, sort_keys=True))
+    index.write_text("\n".join(lines) + "\n")
+    (tmp_path / "dir" / MANIFEST_NAME).unlink()
+    full.paths[0].unlink()
+    resumed = run_scenarios(specs, resume=tmp_path / "dir")
+    assert resumed.executed == 1 and resumed.skipped == len(specs) - 1
+    assert canonical_files(resumed.directory) == pristine
