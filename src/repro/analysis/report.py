@@ -29,6 +29,12 @@ just ones produced by a single :class:`~repro.scenarios.sweep.SweepSpec`.
 (When replicate groups are present, ``seed`` is exempt: per-replicate seeds
 are the replication mechanism, not a parameter axis.)
 
+Degraded directories — ones whose ``failures.jsonl`` ledger (or finalized
+manifest's ``failed`` section) quarantined points after exhausting their
+retries — still report: the available artifacts aggregate normally and a
+"Failed points" table lists what is missing, instead of the reader refusing
+the whole directory.
+
 :class:`ReportWatcher` / :func:`watch_report` are the live view: they tail a
 still-running stream directory's ``index.jsonl`` incrementally — verifying
 each new entry with the same artifact-hash machinery resume uses, reading
@@ -49,7 +55,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.scenarios.artifacts import iter_artifact
-from repro.scenarios.stream import INDEX_NAME, MANIFEST_NAME
+from repro.scenarios.spec import canonical_fingerprint
+from repro.scenarios.stream import (
+    FAILURES_NAME,
+    INDEX_NAME,
+    MANIFEST_NAME,
+    iter_index_entries,
+)
 from repro.scenarios.sweep import flatten_dotted, split_replicate
 from repro.util.rng import derive_seed
 from repro.util.validation import require
@@ -69,13 +81,15 @@ _CI_RESAMPLES = 200
 _CI_ALPHA = 0.05
 
 
-def scan_artifact_paths(directory: str | Path) -> list[Path]:
+def scan_artifact_paths(directory: str | Path, allow_empty: bool = False) -> list[Path]:
     """Return the directory's artifact files in canonical point order.
 
     When the directory carries a ``MANIFEST.json`` (a finalized streamed
     sweep), its entry order — the sweep's submission order — wins; otherwise
-    every ``*.jsonl`` / ``*.jsonl.gz`` except the stream index is taken in
-    sorted-name order.
+    every ``*.jsonl`` / ``*.jsonl.gz`` except the stream index and failure
+    ledger is taken in sorted-name order.  ``allow_empty=True`` permits a
+    directory with no artifacts at all (a degraded sweep whose every point
+    was quarantined still deserves a report of its failures).
     """
     directory = Path(directory)
     require(directory.is_dir(), f"not a sweep directory: {directory}")
@@ -89,10 +103,41 @@ def scan_artifact_paths(directory: str | Path) -> list[Path]:
         path
         for pattern in ("*.jsonl", "*.jsonl.gz")
         for path in directory.glob(pattern)
-        if path.name != INDEX_NAME and not path.name.startswith(".")
+        if path.name not in (INDEX_NAME, FAILURES_NAME) and not path.name.startswith(".")
     )
-    require(bool(paths), f"no run artifacts (*.jsonl / *.jsonl.gz) in {directory}")
+    require(
+        bool(paths) or allow_empty,
+        f"no run artifacts (*.jsonl / *.jsonl.gz) in {directory}",
+    )
     return paths
+
+
+def read_failed_points(directory: str | Path) -> list[dict]:
+    """Return the directory's quarantined points, most authoritative first.
+
+    A finalized directory's ``MANIFEST.json`` ``failed`` section is the
+    verdict (it already excludes points that later succeeded); a still-
+    running or crashed directory falls back to the ``failures.jsonl``
+    ledger, last line per fingerprint winning.  Callers reading artifacts
+    should additionally drop entries whose fingerprint they saw succeed.
+    """
+    directory = Path(directory)
+    manifest = directory / MANIFEST_NAME
+    if manifest.is_file():
+        return list(json.loads(manifest.read_text(encoding="utf-8")).get("failed", []))
+    entries: dict[str, dict] = {}
+    for entry in iter_index_entries(directory / FAILURES_NAME):
+        fingerprint = entry.get("fingerprint")
+        if isinstance(fingerprint, str) and fingerprint:
+            entries[fingerprint] = entry
+    return sorted(
+        entries.values(),
+        key=lambda entry: (
+            not isinstance(entry.get("index"), int),
+            entry.get("index") if isinstance(entry.get("index"), int) else 0,
+            str(entry.get("label")),
+        ),
+    )
 
 
 def _cell(value) -> str:
@@ -132,6 +177,7 @@ class PointSummary:
     artifact: str
     spec_flat: dict
     summary: dict
+    fingerprint: str = ""
     timeline: list = field(default_factory=list)  # compact markdown series
     # Raw timeline rows, kept only by the watcher (collect_rows=True) so
     # each artifact is read once yet timeline.csv can be rewritten on every
@@ -149,6 +195,7 @@ class SweepReport:
     axes: dict  # dotted spec key -> sorted distinct values
     markdown: str
     written: list = field(default_factory=list)  # files written by out_dir
+    failed: list = field(default_factory=list)  # quarantined-point entries
 
 
 def _read_point(
@@ -187,6 +234,7 @@ def _read_point(
         artifact=path.name,
         spec_flat=flatten_dotted(spec_data),
         summary=dict(summary),
+        fingerprint=canonical_fingerprint(spec_data),
         timeline=compact,
         raw_timeline=raw,
         csv_label=_csv_label(path, spec_data),
@@ -383,8 +431,32 @@ def _summary_columns(points: list) -> list[str]:
     return columns
 
 
-def _render(directory: Path, points: list, include_timeline: bool, ci: bool):
-    """Compose the markdown document; return ``(axes, groups, markdown)``."""
+def _failed_section(failed: list) -> str:
+    """Render the quarantined-point table for a degraded directory."""
+    rows = [
+        {
+            "point": entry.get("label") or str(entry.get("fingerprint", ""))[:12],
+            "attempts": entry.get("attempts"),
+            "error": entry.get("error"),
+        }
+        for entry in failed
+    ]
+    return (
+        "## Failed points\n\n"
+        "Quarantined after exhausting retries; their artifacts are absent from\n"
+        "the tables above.  Re-offer them with "
+        "`repro sweep <spec> --resume <dir> --retry-failed`.\n\n"
+        + _markdown_table(rows, ["point", "attempts", "error"])
+    )
+
+
+def _render(directory: Path, points: list, include_timeline: bool, ci: bool, failed=()):
+    """Compose the markdown document; return ``(axes, groups, markdown)``.
+
+    ``failed`` is the directory's quarantined-point entries; a failure-free
+    directory renders byte-identically to the pre-failure format (no extra
+    bullet, no section).
+    """
     axes = detect_axes(points)
     groups = replicate_groups(points)
     if groups:
@@ -393,17 +465,20 @@ def _render(directory: Path, points: list, include_timeline: bool, ci: bool):
         axes.pop("seed", None)
     summary_columns = _summary_columns(points)
     point_rows = [{"point": point.label, **point.summary} for point in points]
+    bullets = [
+        f"- points: {len(points)}",
+        f"- varying axes: "
+        + (", ".join(f"`{key}`" for key in axes) if axes else "(none)"),
+    ]
+    if failed:
+        bullets.append(f"- failed points: {len(failed)}")
     sections = [
         f"# Sweep report: {directory.name}",
-        "\n".join(
-            [
-                f"- points: {len(points)}",
-                f"- varying axes: "
-                + (", ".join(f"`{key}`" for key in axes) if axes else "(none)"),
-            ]
-        ),
+        "\n".join(bullets),
         f"## Points\n\n{_markdown_table(point_rows, summary_columns)}",
     ]
+    if failed:
+        sections.append(_failed_section(list(failed)))
     for key, values in axes.items():
         sections.append(_axis_section(key, values, points))
     if groups:
@@ -483,7 +558,8 @@ def generate_report(
     aggregation.
     """
     directory = Path(directory)
-    paths = scan_artifact_paths(directory)
+    failed_all = read_failed_points(directory)
+    paths = scan_artifact_paths(directory, allow_empty=bool(failed_all))
     timeline_writer = None
     if out_dir is not None:
         out_dir = Path(out_dir)
@@ -494,7 +570,11 @@ def generate_report(
     finally:
         if timeline_writer is not None:
             timeline_writer.close()
-    axes, groups, markdown = _render(directory, points, include_timeline, ci)
+    # A point that failed on one attempt but later succeeded has an artifact;
+    # its ledger lines are history, not a verdict.
+    succeeded = {point.fingerprint for point in points}
+    failed = [entry for entry in failed_all if entry.get("fingerprint") not in succeeded]
+    axes, groups, markdown = _render(directory, points, include_timeline, ci, failed)
 
     written: list[Path] = []
     if out_dir is not None:
@@ -504,7 +584,12 @@ def generate_report(
         else:
             timeline_writer.path.unlink()
     return SweepReport(
-        directory=directory, points=points, axes=axes, markdown=markdown, written=written
+        directory=directory,
+        points=points,
+        axes=axes,
+        markdown=markdown,
+        written=written,
+        failed=failed,
     )
 
 
@@ -614,11 +699,16 @@ class ReportWatcher:
             self.complete = len(names) == len(order)
         else:
             names = sorted(self._cache)
-        if not names:
+        failed_all = read_failed_points(self.directory)
+        if not names and not failed_all:
             return None
         points = [self._cache[name] for name in names]
+        succeeded = {point.fingerprint for point in points}
+        failed = [
+            entry for entry in failed_all if entry.get("fingerprint") not in succeeded
+        ]
         axes, groups, markdown = _render(
-            self.directory, points, self.include_timeline, self.ci
+            self.directory, points, self.include_timeline, self.ci, failed
         )
         written: list[Path] = []
         if self.out_dir is not None:
@@ -641,6 +731,7 @@ class ReportWatcher:
             axes=axes,
             markdown=markdown,
             written=written,
+            failed=failed,
         )
 
 

@@ -83,6 +83,8 @@ __all__ = [
     "SweepStream",
     "StreamResult",
     "strip_costs",
+    "PointPolicy",
+    "ChaosSpec",
 ]
 
 _LAZY = {
@@ -101,6 +103,8 @@ _LAZY = {
     "SweepStream": "repro.scenarios.stream",
     "StreamResult": "repro.scenarios.stream",
     "strip_costs": "repro.scenarios.stream",
+    "PointPolicy": "repro.scenarios.policy",
+    "ChaosSpec": "repro.scenarios.chaos",
 }
 
 

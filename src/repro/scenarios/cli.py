@@ -122,12 +122,17 @@ def _cmd_sweep(args) -> int:
     from dataclasses import replace
 
     from repro.scenarios.artifacts import artifact_name, save_run
+    from repro.scenarios.policy import PointPolicy
     from repro.scenarios.runner import run_scenarios
     from repro.scenarios.sweep import SweepSpec
 
     sweep = SweepSpec.from_json(Path(args.sweep).read_text(encoding="utf-8"))
     if args.replicates is not None:
         sweep = replace(sweep, replicates=args.replicates)
+    # The sweep file's policy is the base; explicit flags override field-wise.
+    policy = (sweep.policy or PointPolicy()).merged_with(
+        timeout_s=args.timeout, max_retries=args.max_retries, backoff=args.backoff
+    )
     specs = sweep.expand()
     print(f"sweep {sweep.label}: {len(specs)} points, workers={args.workers}")
     if args.artifact_dir and (args.stream_to or args.resume):
@@ -138,24 +143,48 @@ def _cmd_sweep(args) -> int:
         )
     if args.compress and not (args.stream_to or args.resume):
         raise ValueError("--compress only applies to --stream-to/--resume sweeps")
+    if args.retry_failed and not args.resume:
+        raise ValueError("--retry-failed only applies to --resume sweeps")
     if args.stream_to or args.resume:
         # Streamed mode: nothing is buffered, each finished point lands on
         # disk durably, and a resumed run executes only the missing points.
         if args.resume:
             _check_resume_replicates(Path(args.resume), sweep.replicates)
-        result = run_scenarios(
-            specs,
-            workers=args.workers,
-            stream_to=args.stream_to,
-            resume=args.resume,
-            compress=True if args.compress else None,
-        )
+        directory = Path(args.stream_to or args.resume)
+        try:
+            result = run_scenarios(
+                specs,
+                workers=args.workers,
+                stream_to=args.stream_to,
+                resume=args.resume,
+                compress=True if args.compress else None,
+                policy=policy,
+                retry_failed=args.retry_failed,
+            )
+        except KeyboardInterrupt:
+            # Everything already recorded survived durably — say so instead
+            # of unwinding with a stack trace.
+            print(
+                f"\ninterrupted: completed points are safe in {directory}/; "
+                f"continue with: repro sweep {args.sweep} --resume {directory}",
+                file=sys.stderr,
+            )
+            return 130
+        failed = f", failed {result.failed}" if result.failed else ""
         print(
             f"streamed {result.total} points to {result.directory}/ "
-            f"(executed {result.executed}, resumed {result.skipped})"
+            f"(executed {result.executed}, resumed {result.skipped}{failed})"
         )
+        if result.failed:
+            print(
+                f"{result.failed} point(s) quarantined after exhausting retries "
+                f"(see {result.failures_path}); re-offer them with: "
+                f"repro sweep {args.sweep} --resume {result.directory} --retry-failed",
+                file=sys.stderr,
+            )
+            return 3
         return 0
-    records = run_scenarios(specs, workers=args.workers)
+    records = run_scenarios(specs, workers=args.workers, policy=policy)
     _print_records(records, title=f"sweep: {sweep.label}")
     if args.artifact_dir:
         directory = Path(args.artifact_dir)
@@ -172,8 +201,10 @@ def _cmd_report(args) -> int:
 
         def on_refresh(watcher, snapshot) -> None:
             points = len(snapshot.points) if snapshot is not None else 0
+            failed = len(snapshot.failed) if snapshot is not None else 0
             state = "complete" if watcher.complete else "watching"
-            print(f"[watch] {points} point(s), {state}", file=sys.stderr)
+            suffix = f", {failed} failed" if failed else ""
+            print(f"[watch] {points} point(s){suffix}, {state}", file=sys.stderr)
 
         report = watch_report(
             args.directory,
@@ -197,6 +228,14 @@ def _cmd_report(args) -> int:
     print(report.markdown, end="")
     for path in report.written:
         print(f"wrote {path}", file=sys.stderr)
+    if report.failed:
+        # Degraded but usable: the report already carries the failed-point
+        # table, so this is a note, not an error exit.
+        print(
+            f"note: {len(report.failed)} quarantined point(s) are missing from "
+            f"the aggregates (see the 'Failed points' section)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -280,6 +319,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="gzip each streamed artifact (.jsonl.gz; auto-detected on "
         "resume/replay/report)",
     )
+    sweep_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-point wall-clock budget in seconds; an overrunning worker "
+        "is killed and the point charged an attempt",
+    )
+    sweep_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extra attempts a failing point gets before it is quarantined "
+        "into failures.jsonl (default: 0)",
+    )
+    sweep_parser.add_argument(
+        "--backoff",
+        type=float,
+        default=None,
+        metavar="S",
+        help="base delay between attempts (deterministic exponential backoff "
+        "with seeded jitter; default: 0, retry immediately)",
+    )
+    sweep_parser.add_argument(
+        "--retry-failed",
+        action="store_true",
+        help="with --resume: re-offer previously quarantined points with a "
+        "fresh attempt budget (by default resume skips them)",
+    )
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     report_parser = sub.add_parser(
@@ -341,6 +410,11 @@ def main(argv: list[str] | None = None) -> int:
     except (ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Streamed sweeps catch this themselves (with a resume hint); for
+        # everything else, ^C is still not a traceback-worthy event.
+        print("\ninterrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

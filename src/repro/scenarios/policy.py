@@ -1,0 +1,125 @@
+"""Per-point execution guards for sweep runs.
+
+A :class:`PointPolicy` bounds what one scenario point may cost the run:
+``timeout_s`` caps its wall clock (enforced by the pooled runner, which
+kills and respawns workers that overrun), ``max_retries`` re-offers a
+failed point that many extra attempts, and ``backoff`` spaces the retries
+out.  The backoff *delay* is deterministic — it is drawn from
+``derive_seed(seed, "retry", fingerprint, attempt)``, never from wall
+clock or a global RNG — so a resumed run facing the same faults makes
+byte-identical retry decisions, which is what keeps the fault-injection
+differential tests honest (see :mod:`repro.scenarios.chaos`).
+
+The policy never enters a :class:`~repro.scenarios.spec.ScenarioSpec`
+fingerprint: how hard the harness tries to execute a point is an
+operational concern, not part of the point's identity, so toggling
+retries on a resume still matches every recorded artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+
+from repro.util.rng import derive_seed
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class PointPolicy:
+    """Execution limits applied to every point of a sweep.
+
+    Attributes
+    ----------
+    timeout_s:
+        Wall-clock budget for one attempt of one point, or ``None`` for
+        unlimited.  Enforcing a timeout requires the pooled runner (the
+        overrunning worker is killed), so a policy with a timeout routes
+        even ``workers=1`` runs through the process pool.
+    max_retries:
+        Extra attempts a failing point gets before it is quarantined
+        (0 = fail on the first error, the pre-policy behavior).
+    backoff:
+        Base delay in seconds between attempts; attempt ``k`` waits about
+        ``backoff * 2**k`` (with deterministic jitter).  0 retries
+        immediately.
+    """
+
+    timeout_s: float | None = None
+    max_retries: int = 0
+    backoff: float = 0.0
+
+    def validate(self) -> "PointPolicy":
+        """Check ranges; return self for chaining."""
+        require(
+            self.timeout_s is None or self.timeout_s > 0,
+            "timeout_s must be None or positive",
+        )
+        require(
+            isinstance(self.max_retries, int) and not isinstance(self.max_retries, bool),
+            "max_retries must be an integer",
+        )
+        require(self.max_retries >= 0, "max_retries must be non-negative")
+        require(self.backoff >= 0, "backoff must be non-negative")
+        return self
+
+    @property
+    def active(self) -> bool:
+        """Return whether this policy changes anything about execution."""
+        return self.timeout_s is not None or self.max_retries > 0 or self.backoff > 0
+
+    def retry_delay(self, seed: int, fingerprint: str, attempt: int) -> float:
+        """Return the deterministic delay before re-running ``attempt + 1``.
+
+        Exponential in the attempt number with jitter in ``[0.5, 1.5)``,
+        drawn from the (seed, fingerprint, attempt) triple alone — two runs
+        that retry the same point for the same attempt wait identically.
+        """
+        if self.backoff <= 0:
+            return 0.0
+        rng = random.Random(derive_seed(seed, "retry", fingerprint, attempt))
+        return self.backoff * (2**attempt) * (0.5 + rng.random())
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Return the policy as a plain dict."""
+        return {
+            "timeout_s": self.timeout_s,
+            "max_retries": self.max_retries,
+            "backoff": self.backoff,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PointPolicy":
+        """Build a policy from a dict, rejecting unknown keys."""
+        require(isinstance(data, dict), "a point policy must be a JSON object")
+        known = {"timeout_s", "max_retries", "backoff"}
+        unknown = sorted(set(data) - known)
+        require(
+            not unknown,
+            f"unknown PointPolicy fields {unknown}; known fields: {sorted(known)}",
+        )
+        return cls(
+            timeout_s=data.get("timeout_s"),
+            max_retries=data.get("max_retries", 0),
+            backoff=data.get("backoff", 0.0),
+        ).validate()
+
+    def to_json(self) -> str:
+        """Return canonical JSON (sorted keys, compact)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def merged_with(
+        self,
+        timeout_s: float | None = None,
+        max_retries: int | None = None,
+        backoff: float | None = None,
+    ) -> "PointPolicy":
+        """Return a copy with every non-``None`` override applied (CLI flags)."""
+        return PointPolicy(
+            timeout_s=self.timeout_s if timeout_s is None else timeout_s,
+            max_retries=self.max_retries if max_retries is None else max_retries,
+            backoff=self.backoff if backoff is None else backoff,
+        ).validate()

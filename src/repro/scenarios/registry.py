@@ -57,6 +57,7 @@ PROVIDER_MODULES: tuple[str, ...] = (
     "repro.distributed.protocol",
     "repro.adversary.strategies",
     "repro.harness.workloads",
+    "repro.scenarios.chaos",
 )
 
 #: Entry-point group -> registry kind (None = load-only, for ``@register_*``

@@ -16,19 +16,33 @@ projection of an :class:`~repro.harness.experiment.ExperimentResult` (spec,
 summary row, timeline rows, adversarial trace, cache stats) — rather than
 the result object itself, which drags whole graphs along.  The record is
 also exactly what :mod:`repro.scenarios.artifacts` persists to JSONL.
+
+Execution is additionally *self-healing*: a
+:class:`~repro.scenarios.policy.PointPolicy` bounds each point's wall clock
+and grants it retries, and the pooled loop survives the failure modes real
+worker fleets exhibit — a worker process dying (``BrokenProcessPool``), a
+point hanging past its timeout, or a poison exception that cannot cross the
+process boundary.  In every case the pool is respawned, in-flight innocents
+are re-queued uncharged, and only the culpable point is charged an attempt;
+a point that exhausts ``max_retries`` is quarantined (streamed runs record
+it durably in ``failures.jsonl`` and keep going; buffered runs flush every
+already-completed point, then re-raise).  Because artifact bytes are a pure
+function of the spec, re-running an innocent point is always safe.
 """
 
 from __future__ import annotations
 
+import heapq
 import time
-from collections import Counter
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import Counter, deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.adversary.base import AdversaryEvent, EventType
 from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.scenarios.policy import PointPolicy
 from repro.scenarios.spec import ScenarioSpec
 from repro.util.validation import require
 
@@ -143,6 +157,61 @@ def execute_spec_timed(spec: ScenarioSpec) -> tuple[RunRecord, float]:
     return record, time.perf_counter() - start
 
 
+def _inject_worker_chaos(spec: ScenarioSpec, attempt: int) -> None:
+    """Apply this attempt's scheduled worker fault, when chaos is active."""
+    from repro.scenarios.chaos import active_chaos, apply_worker_chaos
+
+    if active_chaos() is not None:
+        apply_worker_chaos(spec.fingerprint(), attempt)
+
+
+def execute_point(spec: ScenarioSpec, attempt: int = 0) -> RunRecord:
+    """The pooled buffered-path work unit: chaos shim, then the scenario.
+
+    ``attempt`` numbers retries of one point (0 = first try); it feeds only
+    the fault-injection schedule, never the scenario itself, so every
+    attempt that completes returns identical bytes.
+    """
+    _inject_worker_chaos(spec, attempt)
+    return execute_spec(spec)
+
+
+def execute_point_timed(spec: ScenarioSpec, attempt: int = 0) -> tuple[RunRecord, float]:
+    """The pooled streamed-path work unit: chaos shim, then the timed scenario.
+
+    An injected hang sleeps *before* the timer starts, so the recorded
+    ``wall_clock_s`` cost column still measures the point's own execution.
+    """
+    _inject_worker_chaos(spec, attempt)
+    return execute_spec_timed(spec)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Terminate a pool's worker processes and abandon its futures.
+
+    Used to enforce point timeouts (there is no cooperative way to stop a
+    worker stuck in native code) and to tear down on interrupt.  Reaches
+    into ``_processes`` deliberately — it is the only handle the executor
+    exposes to its children — and degrades to a plain non-blocking shutdown
+    if a future Python version renames it.
+    """
+    processes = list(getattr(pool, "_processes", {}).values() or ())
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already-dead children
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - defensive
+        pass
+    for process in processes:
+        try:
+            process.join(timeout=5)
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+
 def run_scenarios(
     specs: Iterable[ScenarioSpec] | Sequence[ScenarioSpec],
     workers: int = 1,
@@ -150,6 +219,8 @@ def run_scenarios(
     stream_to: str | Path | None = None,
     resume: str | Path | None = None,
     compress: bool | None = None,
+    policy: PointPolicy | None = None,
+    retry_failed: bool = False,
 ):
     """Run every scenario, buffered in memory or streamed to a directory.
 
@@ -179,6 +250,18 @@ def run_scenarios(
     most-expensive-first (so parallel resumes finish sooner), and serial,
     parallel and crash-resumed runs of the same spec list produce
     byte-identical artifacts (and manifests, modulo the cost columns).
+
+    ``policy`` bounds each point's execution (timeout, retries, backoff —
+    see :class:`~repro.scenarios.policy.PointPolicy`).  An active policy
+    routes execution through the process pool even with ``workers=1``,
+    because timeouts are enforced by killing the overrunning worker.  In a
+    streamed run, a point that exhausts its retries is *quarantined*: its
+    failure is appended durably to ``failures.jsonl``, the sweep carries on,
+    and ``MANIFEST.json`` gains a ``failed`` section — degraded, never
+    silently wrong.  In a buffered run the original exception re-raises
+    (after every already-completed point was delivered).  ``resume=`` skips
+    previously quarantined points by default; ``retry_failed=True``
+    re-offers them with a fresh attempt budget.
     """
     spec_list = list(specs)
     require(workers >= 1, "workers must be at least 1")
@@ -188,44 +271,223 @@ def run_scenarios(
         compress is None or stream_to is not None or resume is not None,
         "compress only applies to streamed sweeps; pass stream_to=<dir> or resume=<dir>",
     )
+    require(
+        not retry_failed or resume is not None,
+        "retry_failed only applies when resuming; pass resume=<dir>",
+    )
+    policy = (policy or PointPolicy()).validate()
     if stream_to is None and resume is None:
-        if workers == 1 or len(spec_list) <= 1:
+        from repro.scenarios.chaos import active_chaos
+
+        if (workers == 1 or len(spec_list) <= 1) and not policy.active and active_chaos() is None:
             return [execute_spec(spec) for spec in spec_list]
         records: list[RunRecord | None] = [None] * len(spec_list)
 
-        def on_complete(index: int, record: RunRecord) -> None:
+        def on_complete(index: int, record: RunRecord, attempt: int) -> None:
             records[index] = record
 
-        _run_pooled(spec_list, range(len(spec_list)), workers, max_pending, on_complete)
+        _run_pooled(
+            spec_list,
+            range(len(spec_list)),
+            workers,
+            max_pending,
+            on_complete,
+            fn=execute_point,
+            policy=policy,
+        )
         return records  # type: ignore[return-value]
-    return _run_streamed(spec_list, workers, max_pending, stream_to, resume, compress)
+    return _run_streamed(
+        spec_list, workers, max_pending, stream_to, resume, compress, policy, retry_failed
+    )
 
 
-def _run_pooled(spec_list, indices, workers, max_pending, on_complete, fn=execute_spec) -> None:
-    """Execute ``fn(spec_list[i])`` for each index on a pool, bounded in flight.
+def _run_pooled(
+    spec_list,
+    indices,
+    workers,
+    max_pending,
+    on_complete,
+    fn=execute_point,
+    policy: PointPolicy | None = None,
+    on_quarantine=None,
+) -> None:
+    """Execute ``fn(spec_list[i], attempt)`` for each index on a pool.
 
-    ``on_complete(index, result)`` fires in completion order; nothing beyond
-    the in-flight window is retained here, so the caller decides whether to
-    buffer (in-memory list) or stream (durable directory).
+    ``on_complete(index, result, attempt)`` fires in completion order;
+    nothing beyond the in-flight window is retained here, so the caller
+    decides whether to buffer (in-memory list) or stream (durable
+    directory).  ``on_complete`` may raise
+    :class:`~repro.scenarios.chaos.PointFault` to convert a delivered
+    result into a per-point failure (the torn-write chaos path).
+
+    Fault tolerance: a per-point failure (worker exception, poison
+    exception, timeout, worker death) charges *that point* an attempt; when
+    ``policy.max_retries`` is exhausted the point goes to
+    ``on_quarantine(index, attempts, error)`` — or, when no quarantine sink
+    is given (buffered mode), the error re-raises after every completed
+    point in the same batch was delivered.  A broken pool is respawned and
+    in-flight innocents are re-queued without being charged.  Retries wait
+    out the policy's deterministic backoff before resubmission.
     """
-    todo = list(indices)
+    from repro.scenarios.chaos import PointFault
+
+    policy = (policy or PointPolicy()).validate()
     window = max_pending if max_pending is not None else 4 * workers
     require(window >= 1, "max_pending must be at least 1")
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        pending = {}
-        cursor = 0
-        while pending or cursor < len(todo):
-            while cursor < len(todo) and len(pending) < window:
-                index = todo[cursor]
-                pending[pool.submit(fn, spec_list[index])] = index
-                cursor += 1
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+
+    queue: deque = deque((index, 0) for index in indices)
+    delayed: list = []  # (ready_monotonic, tiebreak, index, attempt) backoff heap
+    pending: dict = {}  # future -> (index, attempt, seq, deadline)
+    seq = 0
+
+    def fail_point(index: int, attempt: int, error: BaseException) -> None:
+        """Charge one attempt; requeue (after backoff) or quarantine."""
+        nonlocal seq
+        if attempt < policy.max_retries:
+            delay = policy.retry_delay(
+                spec_list[index].seed, spec_list[index].fingerprint(), attempt
+            )
+            if delay > 0:
+                seq += 1
+                heapq.heappush(delayed, (time.monotonic() + delay, seq, index, attempt + 1))
+            else:
+                queue.append((index, attempt + 1))
+            return
+        if on_quarantine is not None:
+            on_quarantine(index, attempt + 1, error)
+            return
+        raise error
+
+    def handle_broken_pool(pool, extra) -> ProcessPoolExecutor:
+        """Respawn after a worker death; charge only the likely culprits.
+
+        The executor cannot say *which* worker died holding *which* point,
+        so the oldest ``min(workers, in-flight)`` submissions — the ones a
+        worker could actually have been running — are charged an attempt
+        and the rest are re-queued free.  With ``workers=1`` this is exact.
+        """
+        doomed = list(extra)  # (seq, index, attempt, error)
+        for future, (index, attempt, fseq, _) in pending.items():
+            doomed.append(
+                (fseq, index, attempt, BrokenExecutor(f"worker died running point {index}"))
+            )
+        pending.clear()
+        doomed.sort(key=lambda item: item[0])
+        _kill_pool(pool)
+        charged = doomed[: min(workers, len(doomed))]
+        for _, index, attempt, _ in doomed[len(charged):]:
+            queue.append((index, attempt))
+        for _, index, attempt, error in charged:
+            fail_point(index, attempt, error)
+        return ProcessPoolExecutor(max_workers=workers)
+
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        while queue or delayed or pending:
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                _, _, index, attempt = heapq.heappop(delayed)
+                queue.append((index, attempt))
+            broken_on_submit = False
+            while queue and len(pending) < window:
+                index, attempt = queue.popleft()
+                try:
+                    future = pool.submit(fn, spec_list[index], attempt)
+                except BrokenExecutor:
+                    queue.appendleft((index, attempt))
+                    broken_on_submit = True
+                    break
+                seq += 1
+                deadline = now + policy.timeout_s if policy.timeout_s is not None else None
+                pending[future] = (index, attempt, seq, deadline)
+            if broken_on_submit:
+                pool = handle_broken_pool(pool, [])
+                continue
+            if not pending:
+                # Everything left is waiting out a backoff delay.
+                if delayed:
+                    time.sleep(max(0.0, delayed[0][0] - time.monotonic()))
+                continue
+            timeout = None
+            deadlines = [entry[3] for entry in pending.values() if entry[3] is not None]
+            if deadlines:
+                timeout = max(0.0, min(deadlines) - time.monotonic())
+            if delayed:
+                ready_in = max(0.0, delayed[0][0] - time.monotonic())
+                timeout = ready_in if timeout is None else min(timeout, ready_in)
+            done, _ = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
+
+            successes: list = []  # (index, attempt, payload)
+            failures: list = []  # (index, attempt, error)
+            broken: list = []  # (seq, index, attempt, error)
             for future in done:
-                on_complete(pending.pop(future), future.result())
+                index, attempt, fseq, _ = pending.pop(future)
+                try:
+                    payload = future.result()
+                except BrokenExecutor as error:
+                    broken.append((fseq, index, attempt, error))
+                except Exception as error:
+                    failures.append((index, attempt, error))
+                else:
+                    successes.append((index, attempt, payload))
+            # Deliver every completed point FIRST (in submission-index order,
+            # deterministically), so nothing already computed is lost to a
+            # failure in the same batch.
+            for index, attempt, payload in sorted(successes, key=lambda item: item[0]):
+                try:
+                    on_complete(index, payload, attempt)
+                except PointFault as error:
+                    failures.append((index, attempt, error))
+            for index, attempt, error in sorted(failures, key=lambda item: item[0]):
+                fail_point(index, attempt, error)
+            if broken:
+                pool = handle_broken_pool(pool, broken)
+                continue
+            # Enforce per-point timeouts: kill the pool (a stuck worker has no
+            # cooperative stop), charge only the overdue points, re-queue the
+            # innocents uncharged.
+            now = time.monotonic()
+            overdue = {
+                future: entry
+                for future, entry in pending.items()
+                if entry[3] is not None and entry[3] <= now
+            }
+            if overdue:
+                innocents = sorted(
+                    (entry[2], entry[0], entry[1])
+                    for future, entry in pending.items()
+                    if future not in overdue
+                )
+                timed_out = sorted(
+                    (entry[2], entry[0], entry[1]) for entry in overdue.values()
+                )
+                pending.clear()
+                _kill_pool(pool)
+                pool = ProcessPoolExecutor(max_workers=workers)
+                for _, index, attempt in innocents:
+                    queue.append((index, attempt))
+                for _, index, attempt in timed_out:
+                    fail_point(
+                        index,
+                        attempt,
+                        TimeoutError(
+                            f"point {index} exceeded timeout_s={policy.timeout_s} "
+                            f"on attempt {attempt}"
+                        ),
+                    )
+        pool.shutdown(wait=True)
+    except KeyboardInterrupt:
+        _kill_pool(pool)
+        raise
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
-def _run_streamed(spec_list, workers, max_pending, stream_to, resume, compress):
+def _run_streamed(
+    spec_list, workers, max_pending, stream_to, resume, compress, policy, retry_failed
+):
     """The ``stream_to``/``resume`` execution path of :func:`run_scenarios`."""
+    from repro.scenarios.chaos import PointFault, active_chaos, chaos_decision, tear_artifact
     from repro.scenarios.stream import (
         StreamResult,
         SweepStream,
@@ -238,6 +500,7 @@ def _run_streamed(spec_list, workers, max_pending, stream_to, resume, compress):
             "stream_to and resume must name the same directory when both are given",
         )
         stream_to = resume
+    chaos = active_chaos()
     stream = SweepStream(stream_to, compress=compress)
     if resume is None:
         require(
@@ -253,6 +516,7 @@ def _run_streamed(spec_list, workers, max_pending, stream_to, resume, compress):
         f"{[fp[:12] for fp in duplicated]}",
     )
     completed = stream.completed() if resume is not None else {}
+    failed_prior = stream.failed(exclude=completed) if resume is not None else {}
     orphans = set(completed) - set(fingerprints)
     if orphans:
         # Loud, not fatal: resuming with a *changed* grid (extended axes) is
@@ -268,31 +532,56 @@ def _run_streamed(spec_list, workers, max_pending, stream_to, resume, compress):
             RuntimeWarning,
             stacklevel=3,
         )
-    todo = [index for index, fp in enumerate(fingerprints) if fp not in completed]
+    todo = [
+        index
+        for index, fp in enumerate(fingerprints)
+        if fp not in completed and (retry_failed or fp not in failed_prior)
+    ]
     if completed and todo:
         # Schedule the missing points most-expensive-first (estimated from the
         # recorded costs of completed neighbors) so a parallel resume is not
         # left waiting on one straggler scheduled last.
         todo = order_most_expensive_first(spec_list, fingerprints, completed, todo)
 
-    def record_timed(index: int, payload: tuple[RunRecord, float]) -> None:
+    failed_now: dict[str, dict] = {}
+
+    def record_point(index: int, payload: tuple[RunRecord, float], attempt: int = 0) -> None:
         record, wall_clock_s = payload
+        if chaos is not None and chaos_decision(chaos, fingerprints[index], attempt) == "torn-write":
+            tear_artifact(stream, index, record)
+            raise PointFault(
+                f"injected torn write for point {index} attempt {attempt}"
+            )
         stream.record(index, record, wall_clock_s=wall_clock_s)
 
+    def quarantine(index: int, attempts: int, error: BaseException) -> None:
+        entry = stream.record_failure(index, spec_list[index], attempts, error)
+        failed_now[fingerprints[index]] = entry
+
     with stream:
-        if workers == 1 or len(todo) <= 1:
+        if (workers == 1 or len(todo) <= 1) and not policy.active and chaos is None:
             for index in todo:
-                record_timed(index, execute_spec_timed(spec_list[index]))
+                record_point(index, execute_spec_timed(spec_list[index]))
         else:
             _run_pooled(
-                spec_list, todo, workers, max_pending, record_timed, fn=execute_spec_timed
+                spec_list,
+                todo,
+                workers,
+                max_pending,
+                record_point,
+                fn=execute_point_timed,
+                policy=policy,
+                on_quarantine=quarantine,
             )
-        entries = stream.finalize(spec_list, verified=completed)
+        manifest = stream.finalize(spec_list, verified=completed, failed=failed_prior)
+    entries = manifest["entries"]
+    executed = len(todo) - len(failed_now)
     return StreamResult(
         directory=stream.directory,
         paths=[stream.directory / entry["artifact"] for entry in entries],
-        executed=len(todo),
-        skipped=len(spec_list) - len(todo),
+        executed=executed,
+        skipped=len(entries) - executed,
+        failed=len(manifest["failed"]),
     )
 
 
@@ -302,12 +591,20 @@ def run_sweep(
     stream_to: str | Path | None = None,
     resume: str | Path | None = None,
     compress: bool | None = None,
+    policy: PointPolicy | None = None,
+    retry_failed: bool = False,
 ):
-    """Expand a :class:`~repro.scenarios.sweep.SweepSpec` and run its grid."""
+    """Expand a :class:`~repro.scenarios.sweep.SweepSpec` and run its grid.
+
+    The sweep file's own ``policy`` applies unless an explicit ``policy``
+    argument overrides it wholesale.
+    """
     return run_scenarios(
         sweep.expand(),
         workers=workers,
         stream_to=stream_to,
         resume=resume,
         compress=compress,
+        policy=policy if policy is not None else getattr(sweep, "policy", None),
+        retry_failed=retry_failed,
     )

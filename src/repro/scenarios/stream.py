@@ -5,6 +5,8 @@ A streamed sweep writes one directory::
     <dir>/0003-<slug>.jsonl       one JSONL artifact per completed point
     <dir>/0003-<slug>.jsonl.gz    (the same, gzip-encoded, with compress=True)
     <dir>/index.jsonl             append-only completion log (one line per point)
+    <dir>/failures.jsonl          append-only quarantine ledger (points that
+                                  exhausted their retry budget; often absent)
     <dir>/MANIFEST.json           canonical manifest, written on completion
 
 Durability protocol, per finished point:
@@ -42,6 +44,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -54,6 +57,13 @@ from repro.util.validation import require
 
 INDEX_NAME = "index.jsonl"
 MANIFEST_NAME = "MANIFEST.json"
+
+#: Append-only quarantine ledger: one fsync'd line per point that exhausted
+#: its retry budget (fingerprint, attempts, exception repr, wall clock).
+#: A later successful record of the same fingerprint supersedes its failure
+#: lines — the ledger is history, ``MANIFEST.json``'s ``failed`` section is
+#: the current verdict.
+FAILURES_NAME = "failures.jsonl"
 
 #: Per-entry manifest/index columns that record observed execution cost.
 #: They are the only nondeterministic bytes a finished sweep directory
@@ -109,9 +119,19 @@ def detect_compression(directory: Path) -> bool | None:
         artifact = entry.get("artifact")
         if isinstance(artifact, str) and artifact:
             return artifact.endswith(".gz")
-    if any(directory.glob("[0-9]*.jsonl.gz")):
+    has_gz = any(directory.glob("[0-9]*.jsonl.gz"))
+    has_plain = any(directory.glob("[0-9]*.jsonl"))
+    # With no index verdict, a directory holding BOTH encodings is ambiguous;
+    # guessing either way would mix encodings within one sweep (or misread
+    # half the artifacts), so refuse loudly instead.
+    require(
+        not (has_gz and has_plain),
+        f"{directory} mixes .jsonl and .jsonl.gz artifacts and its index "
+        f"records no verdict; refusing to guess the sweep's encoding",
+    )
+    if has_gz:
         return True
-    if any(directory.glob("[0-9]*.jsonl")):
+    if has_plain:
         return False
     return None
 
@@ -150,20 +170,29 @@ def _write_durable(path: Path, data: bytes) -> None:
 class StreamResult:
     """Outcome of a streamed (possibly resumed) :func:`run_scenarios` call.
 
-    ``paths`` lists every point's artifact in submission order — both the
-    freshly executed and the resumed-over points, so downstream code does not
-    care which were which.  ``executed + skipped == len(paths)``.
+    ``paths`` lists every *successful* point's artifact in submission order —
+    both the freshly executed and the resumed-over points, so downstream code
+    does not care which were which.  ``failed`` counts the quarantined points
+    (this run's plus any carried over by a resume); a fault-free sweep has
+    ``failed == 0`` and ``executed + skipped == len(paths)`` exactly as
+    before.
     """
 
     directory: Path
     paths: list
     executed: int
     skipped: int
+    failed: int = 0
 
     @property
     def total(self) -> int:
-        """Return the number of points in the sweep."""
-        return len(self.paths)
+        """Return the number of points in the sweep (including quarantined)."""
+        return len(self.paths) + self.failed
+
+    @property
+    def failures_path(self) -> Path:
+        """Return the quarantine ledger's path (may not exist)."""
+        return self.directory / FAILURES_NAME
 
     @property
     def index_path(self) -> Path:
@@ -201,10 +230,14 @@ class SweepStream:
         if self.compress is None:
             self.compress = False
         self._index_handle = None
+        self._failures_handle = None
         # Entries recorded by *this* stream object — trusted without
         # re-reading the files back (we just wrote and fsync'd them), so
         # finalizing a fresh run never rescans the directory.
         self._recorded: dict[str, dict] = {}
+        # Failures quarantined by *this* stream object (fingerprint -> ledger
+        # entry); superseded by a later successful record of the same point.
+        self._failed: dict[str, dict] = {}
 
     @property
     def index_path(self) -> Path:
@@ -215,6 +248,11 @@ class SweepStream:
     def manifest_path(self) -> Path:
         """Return the path of the canonical manifest file."""
         return self.directory / MANIFEST_NAME
+
+    @property
+    def failures_path(self) -> Path:
+        """Return the path of the append-only quarantine ledger."""
+        return self.directory / FAILURES_NAME
 
     # -- writing --------------------------------------------------------------
 
@@ -254,11 +292,40 @@ class SweepStream:
         self._recorded[fingerprint] = entry
         return path
 
+    def record_failure(self, index: int, spec, attempts: int, error: BaseException) -> dict:
+        """Durably quarantine one point that exhausted its retries.
+
+        Appends one fsync'd line to ``failures.jsonl`` — fingerprint, label,
+        attempt count, exception repr and wall clock — and returns the
+        entry.  The wall clock is observational (it never reaches the
+        manifest); everything else is deterministic under a seeded fault
+        schedule, so the manifest's ``failed`` section participates in
+        identity comparisons the way :func:`strip_costs` entries do.
+        """
+        entry = {
+            "index": index,
+            "fingerprint": spec.fingerprint(),
+            "label": spec.label,
+            "attempts": attempts,
+            "error": repr(error),
+            "wall_clock": time.time(),
+        }
+        if self._failures_handle is None:
+            self._failures_handle = self.failures_path.open("a", encoding="utf-8")
+        self._failures_handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._failures_handle.flush()
+        os.fsync(self._failures_handle.fileno())
+        self._failed[entry["fingerprint"]] = entry
+        return entry
+
     def close(self) -> None:
-        """Close the index handle (idempotent)."""
+        """Close the index and failure-ledger handles (idempotent)."""
         if self._index_handle is not None:
             self._index_handle.close()
             self._index_handle = None
+        if self._failures_handle is not None:
+            self._failures_handle.close()
+            self._failures_handle = None
 
     def __enter__(self) -> "SweepStream":
         return self
@@ -310,61 +377,106 @@ class SweepStream:
             return False
         return canonical_fingerprint(first.get("data", {})) == entry["fingerprint"]
 
+    def failed(self, exclude: dict | None = None) -> dict:
+        """Return ``fingerprint -> ledger entry`` for every quarantined point.
+
+        Scans ``failures.jsonl`` with the same torn-tail tolerance the index
+        scan applies; the *last* line per fingerprint wins (a point retried
+        and re-quarantined across resumes keeps its freshest attempt count).
+        Fingerprints in ``exclude`` — typically :meth:`completed`'s map —
+        are dropped: a recorded success supersedes any earlier failure.
+        """
+        entries: dict[str, dict] = {}
+        for entry in iter_index_entries(self.failures_path):
+            fingerprint = entry.get("fingerprint")
+            if isinstance(fingerprint, str) and fingerprint:
+                entries[fingerprint] = entry
+        for fingerprint in exclude or ():
+            entries.pop(fingerprint, None)
+        return entries
+
     # -- finishing ------------------------------------------------------------
 
-    def finalize(self, specs, verified: dict | None = None) -> list:
-        """Write ``MANIFEST.json`` for a fully recorded sweep; return its entries.
+    def finalize(self, specs, verified: dict | None = None, failed: dict | None = None) -> dict:
+        """Write ``MANIFEST.json`` for a fully recorded sweep; return the manifest.
 
-        The manifest lists every point in submission order with its
-        fingerprint, artifact name, replicate id and cost columns.
+        The manifest lists every successful point in submission order with
+        its fingerprint, artifact name, replicate id and cost columns, plus
+        a ``failed`` section listing every quarantined point (index,
+        fingerprint, label, attempts, exception repr — no wall clock, so
+        under a deterministic fault schedule the section is byte-stable).
         Everything except the cost columns is a deterministic function of
-        the spec list alone, so serial, parallel and resumed runs of the
-        same sweep produce manifests identical under :func:`strip_costs`.
-        Raises if any point is missing (the sweep is not actually finished).
+        the spec list and the failure history, so serial, parallel and
+        resumed runs of the same sweep produce manifests identical under
+        :func:`strip_costs`.  Raises if any point is neither recorded nor
+        quarantined (the sweep is not actually finished).
 
         ``verified`` is the ``fingerprint -> entry`` map of pre-existing
         points already checked by :meth:`completed` (the resume path passes
-        the map it scanned before executing); entries recorded by this
-        stream object are trusted as-is.  When ``verified`` is omitted the
-        directory is scanned — only then does finalizing re-read artifacts.
+        the map it scanned before executing); ``failed`` is the carried-over
+        quarantine map from :meth:`failed`.  Entries recorded or quarantined
+        by this stream object are trusted as-is and win over carried maps;
+        a success always supersedes a failure.  When ``verified`` is
+        omitted the directory is scanned — only then does finalizing
+        re-read artifacts.
         """
         completed = dict(self.completed() if verified is None else verified)
         completed.update(self._recorded)
+        failed_map = dict(failed or {})
+        failed_map.update(self._failed)
         entries = []
+        failed_entries = []
         missing = []
         for index, spec in enumerate(specs):
             fingerprint = spec.fingerprint()
-            if fingerprint not in completed:
-                missing.append(index)
+            if fingerprint in completed:
+                # The recorded artifact name normally equals
+                # artifact_name(index, spec.label); it differs only when a
+                # resume reordered the spec list, and then the recorded name
+                # is the one that exists on disk.
+                recorded = completed[fingerprint]
+                entries.append(
+                    {
+                        "index": index,
+                        "fingerprint": fingerprint,
+                        "artifact": recorded["artifact"],
+                        "label": spec.label,
+                        "sha256": recorded.get("sha256"),
+                        "replicate": split_replicate(spec.label)[1],
+                        "wall_clock_s": recorded.get("wall_clock_s"),
+                        "step_cost_s": recorded.get("step_cost_s"),
+                    }
+                )
                 continue
-            # The recorded artifact name normally equals
-            # artifact_name(index, spec.label); it differs only when a resume
-            # reordered the spec list, and then the recorded name is the one
-            # that exists on disk.
-            recorded = completed[fingerprint]
-            entries.append(
-                {
-                    "index": index,
-                    "fingerprint": fingerprint,
-                    "artifact": recorded["artifact"],
-                    "label": spec.label,
-                    "sha256": recorded.get("sha256"),
-                    "replicate": split_replicate(spec.label)[1],
-                    "wall_clock_s": recorded.get("wall_clock_s"),
-                    "step_cost_s": recorded.get("step_cost_s"),
-                }
-            )
+            if fingerprint in failed_map:
+                quarantined = failed_map[fingerprint]
+                failed_entries.append(
+                    {
+                        "index": index,
+                        "fingerprint": fingerprint,
+                        "label": spec.label,
+                        "attempts": quarantined.get("attempts"),
+                        "error": quarantined.get("error"),
+                    }
+                )
+                continue
+            missing.append(index)
         require(
             not missing,
             f"cannot finalize sweep stream at {self.directory}: "
             f"points {missing} have no recorded artifact",
         )
-        manifest = {"points": len(entries), "compressed": self.compress, "entries": entries}
+        manifest = {
+            "points": len(entries),
+            "compressed": self.compress,
+            "entries": entries,
+            "failed": failed_entries,
+        }
         _write_durable(
             self.manifest_path,
             (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode("utf-8"),
         )
-        return entries
+        return manifest
 
 
 # -- cost-aware resume scheduling ---------------------------------------------

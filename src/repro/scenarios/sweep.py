@@ -27,6 +27,7 @@ import json
 import re
 from dataclasses import dataclass, field, fields
 
+from repro.scenarios.policy import PointPolicy
 from repro.scenarios.spec import ScenarioSpec, canonical_fingerprint
 from repro.util.rng import derive_seed
 from repro.util.validation import require
@@ -141,6 +142,13 @@ class SweepSpec:
         "replicate", rep)`` — so replicate fingerprints are pairwise
         distinct yet stable under axis reordering.  Incompatible with a
         ``seed`` axis (sweep the seed or replicate, not both).
+    policy:
+        Optional :class:`~repro.scenarios.policy.PointPolicy` bounding each
+        point's execution (timeout, retries, backoff).  Purely operational:
+        it never enters the expanded specs or their fingerprints, so
+        changing the policy on a resume still matches every recorded
+        artifact.  CLI flags (``--timeout`` / ``--max-retries`` /
+        ``--backoff``) override it field-wise.
     """
 
     base: ScenarioSpec
@@ -148,6 +156,7 @@ class SweepSpec:
     name: str | None = None
     derive_seeds: bool = False
     replicates: int = 1
+    policy: PointPolicy | None = None
 
     @property
     def label(self) -> str:
@@ -171,6 +180,8 @@ class SweepSpec:
             "replicates > 1 derives a seed per replicate; it cannot be combined "
             "with a 'seed' axis — sweep the seed or replicate, not both",
         )
+        if self.policy is not None:
+            self.policy.validate()
         for key, values in self.axes.items():
             require(
                 isinstance(values, (list, tuple)) and len(values) > 0,
@@ -236,28 +247,37 @@ class SweepSpec:
     # -- serialization --------------------------------------------------------
 
     def to_dict(self) -> dict:
-        """Return the sweep as a plain dict."""
-        return {
+        """Return the sweep as a plain dict.
+
+        ``policy`` is omitted when unset, so the schema (and every sweep
+        fingerprint) of pre-policy documents is unchanged byte for byte.
+        """
+        data = {
             "base": self.base.to_dict(),
             "axes": {key: list(values) for key, values in self.axes.items()},
             "name": self.name,
             "derive_seeds": self.derive_seeds,
             "replicates": self.replicates,
         }
+        if self.policy is not None:
+            data["policy"] = self.policy.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SweepSpec":
         """Build a sweep from a dict, rejecting unknown keys."""
-        known = {"base", "axes", "name", "derive_seeds", "replicates"}
+        known = {"base", "axes", "name", "derive_seeds", "replicates", "policy"}
         unknown = sorted(set(data) - known)
         require(not unknown, f"unknown SweepSpec fields {unknown}; known fields: {sorted(known)}")
         require("base" in data and "axes" in data, "SweepSpec requires 'base' and 'axes'")
+        policy = data.get("policy")
         return cls(
             base=ScenarioSpec.from_dict(data["base"]),
             axes=dict(data["axes"]),
             name=data.get("name"),
             derive_seeds=data.get("derive_seeds", False),
             replicates=data.get("replicates", 1),
+            policy=None if policy is None else PointPolicy.from_dict(policy),
         )
 
     def to_json(self) -> str:

@@ -1,0 +1,458 @@
+"""Fault-injection differentials: chaos + retries converge to fault-free bytes.
+
+The contract under test (ISSUE 6 tentpole): the pooled runner survives the
+failure modes real worker fleets exhibit — process crashes, hangs, poison
+exceptions, torn artifact writes — and, because every fault schedule and
+every retry decision is a pure function of seeds and fingerprints, a chaotic
+run with enough retries produces a directory *byte-identical* to a fault-free
+serial run (modulo the completion log, the quarantine ledger and the
+manifest's cost columns).  Points that fail deterministically on every
+attempt are quarantined durably instead of sinking the sweep, and the report
+layer renders the degraded directory instead of refusing it.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import BrokenExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import generate_report, watch_report
+from repro.scenarios import ChaosSpec, PointPolicy, ScenarioSpec, SweepSpec, run_scenarios
+from repro.scenarios.chaos import ENV_VAR, FAULT_KINDS, chaos_decision
+from repro.scenarios.stream import (
+    FAILURES_NAME,
+    INDEX_NAME,
+    MANIFEST_NAME,
+    strip_costs,
+)
+from repro.util.validation import ValidationError
+
+BASE = ScenarioSpec(
+    name="chaos-test",
+    healer="xheal",
+    healer_kwargs={"kappa": 4},
+    adversary="random",
+    adversary_kwargs={"delete_probability": 0.6},
+    topology="random-regular",
+    topology_kwargs={"n": 16, "degree": 4},
+    timesteps=5,
+    metric_every=3,
+    exact_expansion_limit=0,
+    stretch_sample_pairs=20,
+    seed=3,
+)
+
+SWEEP = SweepSpec(base=BASE, axes={"timesteps": [3, 5], "healer_kwargs.kappa": [2, 4]})
+
+#: A schedule verified (see test_chaos_seed_43_covers_every_fault_kind) to
+#: fault every point of SWEEP on its first attempt — covering crash, raise
+#: and torn-write — while leaving each a fault-free attempt within 3 retries.
+#: Used with workers=1, where broken-pool culprit attribution is exact: a
+#: crash can never charge an innocent in-flight point an attempt, so the
+#: schedule is followed to the letter.
+CHAOS = ChaosSpec(crash_prob=0.3, raise_prob=0.25, torn_write_prob=0.25, seed=43)
+
+#: A crash-free schedule (raise + torn-write only) for the parallel
+#: differential: without worker deaths every failure is delivered on its own
+#: future, so attempt accounting is exact at any worker count.
+NOCRASH = ChaosSpec(raise_prob=0.35, torn_write_prob=0.35, seed=28)
+
+#: A point that fails identically on every attempt (exhausts any retry
+#: budget): the quarantine fixture.
+FLAKY = BASE.with_overrides(
+    name="flaky-point", timesteps=3, healer="chaos-flaky", healer_kwargs={"fail_at": 0}
+)
+POISON = BASE.with_overrides(
+    name="poison-point",
+    timesteps=3,
+    healer="chaos-flaky",
+    healer_kwargs={"fail_at": 0, "mode": "poison"},
+)
+GOOD = BASE.with_overrides(name="good-point", timesteps=3)
+
+
+def canonical_files(directory: Path):
+    """The byte-identity surface of a possibly-degraded sweep directory.
+
+    Same as the stream tests' helper, but the quarantine ledger joins the
+    completion log on the excluded list: both are append-only operational
+    history (attempt counts, wall clocks, completion order), not part of the
+    sweep's identity.  The manifest still participates through
+    :func:`strip_costs` — including its ``failed`` section, which is
+    deterministic under a seeded fault schedule.
+    """
+    directory = Path(directory)
+    files = {
+        path.name: path.read_bytes()
+        for path in directory.iterdir()
+        if path.name not in (INDEX_NAME, MANIFEST_NAME, FAILURES_NAME)
+        and not path.name.startswith(".")
+    }
+    manifest = directory / MANIFEST_NAME
+    if manifest.is_file():
+        files[MANIFEST_NAME] = strip_costs(json.loads(manifest.read_text()))
+    return files
+
+
+# -- schedule determinism ------------------------------------------------------
+
+
+def test_chaos_decision_is_a_pure_function_of_its_inputs():
+    chaos = ChaosSpec(crash_prob=0.5, raise_prob=0.5, seed=7)
+    for attempt in range(5):
+        first = chaos_decision(chaos, "f" * 64, attempt)
+        assert chaos_decision(chaos, "f" * 64, attempt) == first
+        assert first in (None, *FAULT_KINDS)
+    # Different fingerprints and seeds draw independently.
+    draws = {
+        chaos_decision(ChaosSpec(crash_prob=0.5, seed=seed), fp, 0)
+        for seed in range(8)
+        for fp in ("a" * 64, "b" * 64)
+    }
+    assert draws == {None, "crash"}
+
+
+def test_chaos_seed_43_covers_every_fault_kind():
+    """Pin the schedule the differential tests rely on (a seed-drift alarm)."""
+    schedule = {
+        index: [chaos_decision(CHAOS, spec.fingerprint(), attempt) for attempt in range(4)]
+        for index, spec in enumerate(SWEEP.expand())
+    }
+    assert all(kinds[0] is not None for kinds in schedule.values())
+    assert {kind for kinds in schedule.values() for kind in kinds if kind} == {
+        "crash",
+        "raise",
+        "torn-write",
+    }
+    assert all(any(kind is None for kind in kinds) for kinds in schedule.values())
+
+
+def test_chaos_spec_roundtrip_and_validation():
+    chaos = ChaosSpec(crash_prob=0.1, hang_prob=0.2, hang_s=3.0, seed=9)
+    assert ChaosSpec.from_json(chaos.to_json()) == chaos
+    with pytest.raises(ValidationError, match="crash_prob"):
+        ChaosSpec(crash_prob=1.5).validate()
+    with pytest.raises(ValidationError, match="unknown ChaosSpec fields"):
+        ChaosSpec.from_dict({"crash_probability": 0.5})
+
+
+def test_point_policy_roundtrip_merge_and_deterministic_backoff():
+    policy = PointPolicy(timeout_s=5.0, max_retries=2, backoff=0.1)
+    assert PointPolicy.from_dict(policy.to_dict()) == policy
+    assert not PointPolicy().active and policy.active
+    merged = PointPolicy(backoff=0.5).merged_with(max_retries=3)
+    assert merged == PointPolicy(backoff=0.5, max_retries=3)
+    # The delay is a pure function of (seed, fingerprint, attempt) and grows
+    # exponentially in the attempt number.
+    first = policy.retry_delay(3, "a" * 64, 0)
+    assert first == policy.retry_delay(3, "a" * 64, 0)
+    assert 0.05 <= first < 0.15
+    assert policy.retry_delay(3, "a" * 64, 2) >= 2 * first
+    assert PointPolicy().retry_delay(3, "a" * 64, 0) == 0.0
+    with pytest.raises(ValidationError, match="timeout_s"):
+        PointPolicy(timeout_s=0).validate()
+    with pytest.raises(ValidationError, match="max_retries"):
+        PointPolicy(max_retries=-1).validate()
+
+
+def test_sweep_spec_policy_field_roundtrips_and_stays_fingerprint_neutral():
+    with_policy = SweepSpec(
+        base=BASE, axes={"timesteps": [3, 5]}, policy=PointPolicy(max_retries=2)
+    )
+    bare = SweepSpec(base=BASE, axes={"timesteps": [3, 5]})
+    assert SweepSpec.from_json(with_policy.to_json()).policy == PointPolicy(max_retries=2)
+    # Operational, not identity: the expanded points are the same specs.
+    assert [s.fingerprint() for s in with_policy.expand()] == [
+        s.fingerprint() for s in bare.expand()
+    ]
+    # Pre-policy documents keep their bytes (and hence sweep fingerprints).
+    assert "policy" not in bare.to_dict()
+    assert SweepSpec.from_json(bare.to_json()) == bare
+
+
+# -- the differential: chaos + retries == fault-free ---------------------------
+
+
+def test_chaotic_run_converges_to_fault_free_bytes(tmp_path, monkeypatch):
+    specs = SWEEP.expand()
+    clean = run_scenarios(specs, stream_to=tmp_path / "clean")
+    monkeypatch.setenv(ENV_VAR, CHAOS.to_json())
+    chaotic = run_scenarios(
+        specs,
+        stream_to=tmp_path / "chaos",
+        policy=PointPolicy(max_retries=3),
+    )
+    assert chaotic.failed == 0 and chaotic.executed == len(specs)
+    assert canonical_files(clean.directory) == canonical_files(chaotic.directory)
+    manifest = json.loads(chaotic.manifest_path.read_text())
+    assert manifest["failed"] == []
+
+
+def test_parallel_chaotic_run_without_crashes_matches_serial(tmp_path, monkeypatch):
+    specs = SWEEP.expand()
+    clean = run_scenarios(specs, stream_to=tmp_path / "clean")
+    monkeypatch.setenv(ENV_VAR, NOCRASH.to_json())
+    chaotic = run_scenarios(
+        specs,
+        workers=2,
+        stream_to=tmp_path / "chaos",
+        policy=PointPolicy(max_retries=3),
+    )
+    assert chaotic.failed == 0
+    assert canonical_files(clean.directory) == canonical_files(chaotic.directory)
+
+
+def test_kill_and_resume_under_the_same_chaos_schedule_converges(tmp_path, monkeypatch):
+    specs = SWEEP.expand()
+    clean = run_scenarios(specs, stream_to=tmp_path / "clean")
+    monkeypatch.setenv(ENV_VAR, CHAOS.to_json())
+    # "Crash" after two points, then resume the full grid under the same
+    # fault schedule (workers inherit it through the environment).
+    run_scenarios(
+        specs[:2], stream_to=tmp_path / "crash", policy=PointPolicy(max_retries=3)
+    )
+    resumed = run_scenarios(
+        specs, resume=tmp_path / "crash", policy=PointPolicy(max_retries=3)
+    )
+    assert resumed.failed == 0
+    assert resumed.executed == len(specs) - 2 and resumed.skipped == 2
+    assert canonical_files(clean.directory) == canonical_files(resumed.directory)
+
+
+def test_buffered_pooled_run_retries_through_chaos(tmp_path, monkeypatch):
+    specs = SWEEP.expand()
+    clean = run_scenarios(specs)
+    monkeypatch.setenv(ENV_VAR, CHAOS.to_json())
+    # Active chaos routes even workers=1 through the pool (the inline path
+    # cannot inject worker faults); torn-write is a streamed-only fault, so
+    # here the schedule exercises crashes and raises.
+    chaotic = run_scenarios(specs, policy=PointPolicy(max_retries=3))
+    assert chaotic == clean
+
+
+def test_buffered_run_without_retries_still_raises(monkeypatch):
+    """max_retries=0 keeps the pre-policy contract: the first fault is fatal."""
+    specs = SWEEP.expand()
+    monkeypatch.setenv(ENV_VAR, CHAOS.to_json())
+    # Seed 43 faults every point's first attempt (crashes among them), so a
+    # zero-retry run must surface an error rather than return records.
+    with pytest.raises((BrokenExecutor, RuntimeError)):
+        run_scenarios(specs, workers=2)
+
+
+def test_timeout_kills_a_hung_worker_and_the_retry_succeeds(tmp_path, monkeypatch):
+    spec = BASE.with_overrides(name="hang-point", timesteps=3)
+    clean = run_scenarios([spec], stream_to=tmp_path / "clean")
+    # Verified schedule for this fingerprint: attempt 0 hangs, attempt 1 clean.
+    chaos = ChaosSpec(hang_prob=0.5, hang_s=30.0, seed=2)
+    assert chaos_decision(chaos, spec.fingerprint(), 0) == "hang"
+    assert chaos_decision(chaos, spec.fingerprint(), 1) is None
+    monkeypatch.setenv(ENV_VAR, chaos.to_json())
+    result = run_scenarios(
+        [spec],
+        stream_to=tmp_path / "chaos",
+        policy=PointPolicy(timeout_s=2.0, max_retries=1),
+    )
+    assert result.failed == 0 and result.executed == 1
+    assert canonical_files(clean.directory) == canonical_files(result.directory)
+
+
+def test_timeout_without_retries_quarantines_with_a_timeout_error(tmp_path, monkeypatch):
+    spec = BASE.with_overrides(name="hang-point", timesteps=3)
+    chaos = ChaosSpec(hang_prob=1.0, hang_s=30.0, seed=0)
+    monkeypatch.setenv(ENV_VAR, chaos.to_json())
+    result = run_scenarios(
+        [spec], stream_to=tmp_path / "dir", policy=PointPolicy(timeout_s=1.0)
+    )
+    assert result.failed == 1 and result.executed == 0
+    [entry] = list(_ledger(result.failures_path))
+    assert "timeout_s=1.0" in entry["error"] and entry["attempts"] == 1
+
+
+def _ledger(path: Path):
+    for line in path.read_text().splitlines():
+        yield json.loads(line)
+
+
+# -- quarantine: deterministic failures land in failures.jsonl -----------------
+
+
+def test_exhausted_retries_quarantine_durably_and_the_sweep_carries_on(tmp_path):
+    result = run_scenarios(
+        [GOOD, FLAKY, POISON],
+        workers=2,
+        stream_to=tmp_path / "dir",
+        policy=PointPolicy(max_retries=1),
+    )
+    assert result.executed == 1 and result.failed == 2
+    assert [path.name for path in result.paths] == ["0000-good-point.jsonl"]
+    entries = {entry["label"]: entry for entry in _ledger(result.failures_path)}
+    assert entries["flaky-point"]["attempts"] == 2
+    assert "ChaosError" in entries["flaky-point"]["error"]
+    # The poison exception could not cross the process boundary, but it
+    # failed only its own point — the pool survived and GOOD completed.
+    assert entries["poison-point"]["attempts"] == 2
+    manifest = json.loads(result.manifest_path.read_text())
+    assert manifest["points"] == 1
+    assert [entry["label"] for entry in manifest["failed"]] == [
+        "flaky-point",
+        "poison-point",
+    ]
+    assert all("wall_clock" not in entry for entry in manifest["failed"])
+
+
+def test_flaky_adversary_exercises_the_quarantine_path_too(tmp_path):
+    spec = BASE.with_overrides(
+        name="flaky-adversary",
+        timesteps=3,
+        adversary="chaos-flaky",
+        adversary_kwargs={"inner": "random", "inner_kwargs": {"delete_probability": 0.6}, "fail_at": 2},
+    )
+    result = run_scenarios(
+        [spec], stream_to=tmp_path / "dir", policy=PointPolicy(max_retries=1)
+    )
+    assert result.failed == 1
+    [entry] = list(_ledger(result.failures_path))
+    assert "timestep 2" in entry["error"]
+
+
+def test_resume_skips_quarantined_points_unless_retry_failed(tmp_path, monkeypatch):
+    spec = BASE.with_overrides(name="transient-point", timesteps=3)
+    clean = run_scenarios([spec], stream_to=tmp_path / "clean")
+    # Every attempt crashes: the point exhausts its budget and quarantines.
+    monkeypatch.setenv(ENV_VAR, ChaosSpec(crash_prob=1.0, seed=1).to_json())
+    first = run_scenarios(
+        [spec], stream_to=tmp_path / "dir", policy=PointPolicy(max_retries=1)
+    )
+    assert first.failed == 1 and first.paths == []
+    monkeypatch.delenv(ENV_VAR)
+    # A plain resume honors the quarantine: nothing re-runs, the manifest
+    # still carries the failure.
+    skipped = run_scenarios([spec], resume=tmp_path / "dir")
+    assert skipped.executed == 0 and skipped.failed == 1
+    # retry_failed re-offers the point with a fresh budget; the fault was
+    # environmental (chaos is off now), so it converges — and the ledger's
+    # history never leaks into the identity surface.
+    retried = run_scenarios([spec], resume=tmp_path / "dir", retry_failed=True)
+    assert retried.executed == 1 and retried.failed == 0
+    assert canonical_files(clean.directory) == canonical_files(retried.directory)
+    assert json.loads(retried.manifest_path.read_text())["failed"] == []
+
+
+def test_retry_failed_requires_resume():
+    with pytest.raises(ValidationError, match="retry_failed"):
+        run_scenarios([GOOD], stream_to="unused", retry_failed=True)
+
+
+def test_inline_serial_stream_without_policy_raises_as_before(tmp_path):
+    """No active policy, no chaos: the pre-policy contract is untouched."""
+    with pytest.raises(RuntimeError, match="chaos-flaky"):
+        run_scenarios([FLAKY], stream_to=tmp_path / "dir")
+
+
+# -- graceful degradation: reporting over a degraded directory -----------------
+
+
+@pytest.fixture
+def degraded_dir(tmp_path) -> Path:
+    directory = tmp_path / "degraded"
+    run_scenarios(
+        [GOOD, FLAKY], stream_to=directory, policy=PointPolicy(max_retries=1)
+    )
+    return directory
+
+
+def test_report_renders_a_degraded_directory_instead_of_refusing(degraded_dir):
+    report = generate_report(degraded_dir)
+    assert [point.label for point in report.points] == ["good-point"]
+    assert [entry["label"] for entry in report.failed] == ["flaky-point"]
+    assert "- failed points: 1" in report.markdown
+    assert "## Failed points" in report.markdown
+    assert "flaky-point" in report.markdown and "ChaosError" in report.markdown
+
+
+def test_report_of_an_entirely_quarantined_directory_still_works(tmp_path):
+    directory = tmp_path / "all-failed"
+    run_scenarios([FLAKY], stream_to=directory, policy=PointPolicy(max_retries=1))
+    report = generate_report(directory)
+    assert report.points == [] and len(report.failed) == 1
+    assert "## Failed points" in report.markdown
+    # The watcher agrees: a directory with only failures is reportable.
+    watched = watch_report(directory, max_refreshes=1, interval=0)
+    assert watched is not None and len(watched.failed) == 1
+
+
+def test_watch_report_over_a_degraded_directory_matches_one_shot(degraded_dir):
+    one_shot = generate_report(degraded_dir)
+    watched = watch_report(degraded_dir, max_refreshes=1, interval=0)
+    assert watched.markdown == one_shot.markdown
+
+
+def test_failure_free_report_has_no_failed_section(tmp_path):
+    directory = tmp_path / "clean"
+    run_scenarios([GOOD], stream_to=directory)
+    report = generate_report(directory)
+    assert report.failed == []
+    assert "failed points" not in report.markdown
+    assert "## Failed points" not in report.markdown
+
+
+def test_a_ledger_entry_superseded_by_success_is_not_reported(degraded_dir):
+    """A point that failed historically but later succeeded is healthy."""
+    from repro.scenarios.stream import SweepStream
+
+    # Fabricate history: GOOD once failed, then (as the directory records)
+    # succeeded.  Ledger says failed; the artifact says otherwise.  Drop the
+    # manifest so the report must fall back to the raw ledger.
+    stream = SweepStream(degraded_dir)
+    stream.record_failure(0, GOOD, attempts=1, error=RuntimeError("old news"))
+    stream.close()
+    (degraded_dir / MANIFEST_NAME).unlink()
+    report = generate_report(degraded_dir)
+    assert [entry["label"] for entry in report.failed] == ["flaky-point"]
+
+
+# -- pathological directories (satellite: loud refusal, not guessing) ----------
+
+
+def test_detect_compression_on_pathological_directories(tmp_path):
+    from repro.scenarios.stream import detect_compression, iter_index_entries
+
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert detect_compression(empty) is None
+
+    # An index holding only a torn tail line carries no verdict.
+    torn = tmp_path / "torn"
+    torn.mkdir()
+    (torn / INDEX_NAME).write_text('{"index": 0, "finger')
+    assert list(iter_index_entries(torn / INDEX_NAME)) == []
+    assert detect_compression(torn) is None
+
+    # Mixed encodings with no index verdict: refuse loudly.
+    mixed = tmp_path / "mixed"
+    mixed.mkdir()
+    (mixed / "0000-a.jsonl").write_text("{}\n")
+    (mixed / "0001-b.jsonl.gz").write_bytes(b"\x1f\x8b")
+    with pytest.raises(ValidationError, match="refusing to guess"):
+        detect_compression(mixed)
+
+    # With an index verdict the stray file is ignored: the index wins.
+    (mixed / INDEX_NAME).write_text(
+        json.dumps({"index": 0, "artifact": "0000-a.jsonl"}) + "\n"
+    )
+    assert detect_compression(mixed) is False
+
+
+def test_failures_ledger_tolerates_a_torn_tail(tmp_path):
+    directory = tmp_path / "dir"
+    run_scenarios([FLAKY], stream_to=directory, policy=PointPolicy(max_retries=1))
+    ledger = directory / FAILURES_NAME
+    ledger.write_bytes(ledger.read_bytes() + b'{"fingerprint": "torn')
+    # Without the manifest, the report reads the (torn) ledger directly.
+    (directory / MANIFEST_NAME).unlink()
+    report = generate_report(directory)
+    assert len(report.failed) == 1

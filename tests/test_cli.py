@@ -206,6 +206,66 @@ def test_report_watch_of_a_finished_sweep_matches_one_shot_output(tmp_path, caps
     assert "[watch]" in watched.err and "complete" in watched.err
 
 
+def test_retry_failed_without_resume_exits_two(sweep_file, capsys):
+    assert cli_main(["sweep", str(sweep_file), "--retry-failed"]) == 2
+    err = capsys.readouterr().err
+    assert "--retry-failed" in err and "--resume" in err
+
+
+def test_sweep_with_quarantined_points_exits_three_with_a_retry_hint(tmp_path, capsys):
+    flaky_sweep = SweepSpec(
+        base=BASE.with_overrides(
+            name="cli-flaky", healer="chaos-flaky", healer_kwargs={"fail_at": 0}
+        ),
+        axes={"timesteps": [2, 3]},
+    )
+    path = tmp_path / "flaky.json"
+    path.write_text(flaky_sweep.to_json())
+    directory = tmp_path / "dir"
+    code = cli_main(
+        ["sweep", str(path), "--stream-to", str(directory), "--max-retries", "1"]
+    )
+    assert code == 3
+    captured = capsys.readouterr()
+    assert "failed 2" in captured.out
+    assert "quarantined after exhausting retries" in captured.err
+    assert "--retry-failed" in captured.err
+    assert (directory / "failures.jsonl").is_file()
+    # The degraded directory still reports — exit 0, failed points listed.
+    assert cli_main(["report", str(directory)]) == 0
+    report_out = capsys.readouterr()
+    assert "## Failed points" in report_out.out and "cli-flaky" in report_out.out
+    assert "quarantined point(s) are missing" in report_out.err
+
+
+def test_interrupted_streamed_sweep_exits_130_with_a_resume_hint(
+    sweep_file, tmp_path, capsys, monkeypatch
+):
+    import repro.scenarios.runner as runner_module
+
+    def interrupted(*args, **kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(runner_module, "run_scenarios", interrupted)
+    directory = tmp_path / "dir"
+    code = cli_main(["sweep", str(sweep_file), "--stream-to", str(directory)])
+    assert code == 130
+    err = capsys.readouterr().err
+    assert "completed points are safe" in err
+    assert f"--resume {directory}" in err
+
+
+def test_interrupted_buffered_command_exits_130(sweep_file, capsys, monkeypatch):
+    import repro.scenarios.runner as runner_module
+
+    def interrupted(*args, **kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(runner_module, "run_scenarios", interrupted)
+    assert cli_main(["sweep", str(sweep_file)]) == 130
+    assert "interrupted" in capsys.readouterr().err
+
+
 def test_replay_missing_artifact_exits_two(tmp_path, capsys):
     assert cli_main(["replay", str(tmp_path / "absent.jsonl")]) == 2
     assert "error:" in capsys.readouterr().err
