@@ -253,6 +253,22 @@ def bench_sweep_throughput() -> dict[str, dict]:
             "ratio": rows["stream_serial_plain"]["dir_bytes"]
             / rows["stream_serial_gzip"]["dir_bytes"],
         }
+        # Per-backend throughput of the same grid (ISSUE 7 executor
+        # registry): the fleet's row prices its subprocess + JSONL-pipe
+        # overhead against the in-process pool.
+        for name in ("serial", "process-pool", "subprocess-fleet"):
+            directory = tmp / f"executor-{name}"
+            start = time.perf_counter()
+            run_scenarios(specs, workers=4, stream_to=directory, executor=name)
+            elapsed = time.perf_counter() - start
+            rows[f"executor_{name.replace('-', '_')}"] = {
+                "points": len(specs),
+                "workers": 4,
+                "executor": name,
+                "wall_s": elapsed,
+                "points_per_s": len(specs) / elapsed,
+            }
+            shutil.rmtree(directory)
         # Resume of a fully recorded directory = pure verify-scan cost.
         start = time.perf_counter()
         result = run_scenarios(specs, resume=tmp / "serial_gzip")

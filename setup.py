@@ -3,7 +3,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-xheal",
-    version="1.3.0",
+    version="1.4.0",
     description=(
         "Reproduction of 'Xheal: Localized Self-healing using Expanders' "
         "(Pandurangan & Trehan, PODC 2011) with a declarative scenario API"
@@ -39,6 +39,11 @@ setup(
         ],
         "repro.topologies": [
             "random-regular=repro.harness.workloads:random_regular_workload",
+        ],
+        "repro.executors": [
+            "serial=repro.scenarios.executors:SerialExecutor",
+            "process-pool=repro.scenarios.executors:ProcessPoolBackend",
+            "subprocess-fleet=repro.scenarios.fleet:SubprocessFleetExecutor",
         ],
     },
 )

@@ -58,8 +58,9 @@ from repro.scenarios.artifacts import iter_artifact
 from repro.scenarios.spec import canonical_fingerprint
 from repro.scenarios.stream import (
     FAILURES_NAME,
-    INDEX_NAME,
     MANIFEST_NAME,
+    index_paths,
+    is_index_name,
     iter_index_entries,
 )
 from repro.scenarios.sweep import flatten_dotted, split_replicate
@@ -86,8 +87,9 @@ def scan_artifact_paths(directory: str | Path, allow_empty: bool = False) -> lis
 
     When the directory carries a ``MANIFEST.json`` (a finalized streamed
     sweep), its entry order — the sweep's submission order — wins; otherwise
-    every ``*.jsonl`` / ``*.jsonl.gz`` except the stream index and failure
-    ledger is taken in sorted-name order.  ``allow_empty=True`` permits a
+    every ``*.jsonl`` / ``*.jsonl.gz`` except the stream index (legacy or
+    any ``index-<worker>.jsonl`` shard of it) and the failure ledger is
+    taken in sorted-name order.  ``allow_empty=True`` permits a
     directory with no artifacts at all (a degraded sweep whose every point
     was quarantined still deserves a report of its failures).
     """
@@ -103,7 +105,9 @@ def scan_artifact_paths(directory: str | Path, allow_empty: bool = False) -> lis
         path
         for pattern in ("*.jsonl", "*.jsonl.gz")
         for path in directory.glob(pattern)
-        if path.name not in (INDEX_NAME, FAILURES_NAME) and not path.name.startswith(".")
+        if not is_index_name(path.name)
+        and path.name != FAILURES_NAME
+        and not path.name.startswith(".")
     )
     require(
         bool(paths) or allow_empty,
@@ -599,9 +603,12 @@ def generate_report(
 class ReportWatcher:
     """Incrementally tail a live stream directory, rebuilding the report.
 
-    Each refresh reads only the ``index.jsonl`` bytes appended since the
-    last one (torn tails are carried to the next refresh, exactly like the
-    resume scan), verifies every new entry's artifact with the same
+    Each refresh reads only the index bytes appended since the last one —
+    across the legacy ``index.jsonl`` *and* every ``index-<worker>.jsonl``
+    shard, discovering shard files that appear mid-run (a fleet worker's
+    first completion) as it goes; torn tails are carried per file to the
+    next refresh, exactly like the resume scan.  Every new entry's artifact
+    is verified with the same
     hash/fingerprint machinery resume uses
     (:meth:`~repro.scenarios.stream.SweepStream.completed`'s per-entry
     check), reads each verified artifact once, and re-renders.  Snapshots
@@ -626,34 +633,39 @@ class ReportWatcher:
         self.ci = ci
         self.complete = False
         self._stream = SweepStream(self.directory)
-        self._offset = 0
+        self._offsets: dict[str, int] = {}  # index filename -> consumed bytes
         self._retry: list[dict] = []
         self._cache: dict[str, PointSummary] = {}  # artifact name -> point
 
     def _new_index_entries(self) -> list[dict]:
-        """Return the entries appended to the index since the last refresh."""
-        index_path = self.directory / INDEX_NAME
-        if not index_path.exists():
-            return []
-        with index_path.open("rb") as handle:
-            handle.seek(self._offset)
-            chunk = handle.read()
-        # Only consume whole lines; a torn tail write stays unconsumed and
-        # is re-read (hopefully completed) on the next refresh.
-        cut = chunk.rfind(b"\n")
-        if cut < 0:
-            return []
-        self._offset += cut + 1
-        entries = []
-        for line in chunk[: cut + 1].splitlines():
-            if not line.strip():
+        """Return the entries appended to any index file since the last refresh.
+
+        Files are visited in the deterministic merge order
+        (:func:`~repro.scenarios.stream.index_paths`), each with its own byte
+        offset, so a directory written by many shard writers tails exactly
+        like a single-writer one.
+        """
+        entries: list[dict] = []
+        for index_path in index_paths(self.directory):
+            offset = self._offsets.get(index_path.name, 0)
+            with index_path.open("rb") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+            # Only consume whole lines; a torn tail write stays unconsumed
+            # and is re-read (hopefully completed) on the next refresh.
+            cut = chunk.rfind(b"\n")
+            if cut < 0:
                 continue
-            try:
-                entry = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if isinstance(entry, dict) and entry.get("artifact"):
-                entries.append(entry)
+            self._offsets[index_path.name] = offset + cut + 1
+            for line in chunk[: cut + 1].splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(entry, dict) and entry.get("artifact"):
+                    entries.append(entry)
         return entries
 
     def _ingest(self, path: Path) -> None:

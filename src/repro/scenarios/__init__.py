@@ -43,28 +43,34 @@ from __future__ import annotations
 
 from repro.scenarios.registry import (
     ADVERSARIES,
+    EXECUTORS,
     HEALERS,
     TOPOLOGIES,
     Registry,
     UnknownNameError,
     list_adversaries,
+    list_executors,
     list_healers,
     list_topologies,
     register_adversary,
+    register_executor,
     register_healer,
     register_topology,
 )
 
 __all__ = [
     "ADVERSARIES",
+    "EXECUTORS",
     "HEALERS",
     "TOPOLOGIES",
     "Registry",
     "UnknownNameError",
     "list_adversaries",
+    "list_executors",
     "list_healers",
     "list_topologies",
     "register_adversary",
+    "register_executor",
     "register_healer",
     "register_topology",
     # lazily loaded (see __getattr__):
@@ -85,6 +91,8 @@ __all__ = [
     "strip_costs",
     "PointPolicy",
     "ChaosSpec",
+    "ExecutionContext",
+    "resolve_executor",
 ]
 
 _LAZY = {
@@ -105,6 +113,8 @@ _LAZY = {
     "strip_costs": "repro.scenarios.stream",
     "PointPolicy": "repro.scenarios.policy",
     "ChaosSpec": "repro.scenarios.chaos",
+    "ExecutionContext": "repro.scenarios.executors",
+    "resolve_executor": "repro.scenarios.executors",
 }
 
 

@@ -35,12 +35,18 @@ from pathlib import Path
 
 
 def _cmd_list(args) -> int:
-    from repro.scenarios.registry import list_adversaries, list_healers, list_topologies
+    from repro.scenarios.registry import (
+        list_adversaries,
+        list_executors,
+        list_healers,
+        list_topologies,
+    )
 
     sections = {
         "healers": list_healers,
         "adversaries": list_adversaries,
         "topologies": list_topologies,
+        "executors": list_executors,
     }
     wanted = sections if args.kind == "all" else {args.kind: sections[args.kind]}
     for kind, lister in wanted.items():
@@ -88,11 +94,11 @@ def _check_resume_replicates(resume_dir: Path, replicates: int) -> None:
     fingerprint differs) and strands the old points as orphans — an error
     message beats a doubled directory.
     """
-    from repro.scenarios.stream import INDEX_NAME, iter_index_entries
+    from repro.scenarios.stream import iter_all_index_entries
 
     recorded = [
         entry.get("replicate")
-        for entry in iter_index_entries(Path(resume_dir) / INDEX_NAME)
+        for entry in iter_all_index_entries(Path(resume_dir))
         if "replicate" in entry
     ]
     if not recorded:
@@ -126,6 +132,10 @@ def _cmd_sweep(args) -> int:
     from repro.scenarios.runner import run_scenarios
     from repro.scenarios.sweep import SweepSpec
 
+    if args.workers < 1:
+        # Reject before any backend sees it: ProcessPoolExecutor's own
+        # "max_workers must be greater than 0" traceback names no flag.
+        raise ValueError(f"--workers must be at least 1 (got {args.workers})")
     sweep = SweepSpec.from_json(Path(args.sweep).read_text(encoding="utf-8"))
     if args.replicates is not None:
         sweep = replace(sweep, replicates=args.replicates)
@@ -133,6 +143,8 @@ def _cmd_sweep(args) -> int:
     policy = (sweep.policy or PointPolicy()).merged_with(
         timeout_s=args.timeout, max_retries=args.max_retries, backoff=args.backoff
     )
+    # The sweep file's executor is the default; --executor overrides it.
+    executor = args.executor if args.executor is not None else sweep.executor
     specs = sweep.expand()
     print(f"sweep {sweep.label}: {len(specs)} points, workers={args.workers}")
     if args.artifact_dir and (args.stream_to or args.resume):
@@ -160,6 +172,7 @@ def _cmd_sweep(args) -> int:
                 compress=True if args.compress else None,
                 policy=policy,
                 retry_failed=args.retry_failed,
+                executor=executor,
             )
         except KeyboardInterrupt:
             # Everything already recorded survived durably — say so instead
@@ -184,7 +197,7 @@ def _cmd_sweep(args) -> int:
             )
             return 3
         return 0
-    records = run_scenarios(specs, workers=args.workers, policy=policy)
+    records = run_scenarios(specs, workers=args.workers, policy=policy, executor=executor)
     _print_records(records, title=f"sweep: {sweep.label}")
     if args.artifact_dir:
         directory = Path(args.artifact_dir)
@@ -268,10 +281,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    list_parser = sub.add_parser("list", help="list registered healers/adversaries/topologies")
+    list_parser = sub.add_parser(
+        "list", help="list registered healers/adversaries/topologies/executors"
+    )
     list_parser.add_argument(
         "--kind",
-        choices=["healers", "adversaries", "topologies", "all"],
+        choices=["healers", "adversaries", "topologies", "executors", "all"],
         default="all",
         help="which registry to list (default: all)",
     )
@@ -289,6 +304,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("sweep", help="path to a SweepSpec JSON file")
     sweep_parser.add_argument(
         "--workers", type=int, default=1, help="parallel worker processes (default: 1)"
+    )
+    sweep_parser.add_argument(
+        "--executor",
+        metavar="NAME",
+        default=None,
+        help="execution backend: serial, process-pool, subprocess-fleet, or a "
+        "third-party repro.executors entry point (default: automatic — "
+        "serial for --workers 1, process-pool otherwise; overrides the "
+        "sweep file's 'executor' field)",
     )
     sweep_parser.add_argument(
         "--artifact-dir", help="write one replayable JSONL artifact per point here"

@@ -1,0 +1,537 @@
+"""The ``subprocess-fleet`` executor: leased worker subprocesses over pipes.
+
+A coordinator leases N long-lived worker subprocesses (each running
+:func:`worker_main` from this module) and speaks a JSONL task protocol with
+each over its stdin/stdout pipe pair::
+
+    coordinator -> worker   {"op": "run", "index": 3, "attempt": 0,
+                             "spec": {...}, "timed": true,
+                             "stream": {"directory": "...", "compress": false,
+                                        "shard": "w0"}}
+    worker -> coordinator   {"op": "ready"}
+                            {"op": "done", "index": 3, "attempt": 0,
+                             "entry": {...}}            (streamed runs)
+                            {"op": "done", "index": 3, "attempt": 0,
+                             "record": {...}}           (buffered runs)
+                            {"op": "error", "index": 3, "attempt": 0,
+                             "error": "ChaosError('...')"}
+    coordinator -> worker   {"op": "shutdown"}
+
+Each lease holds at most one in-flight point and moves through the health
+states ``leased`` (spawned, awaiting its ready line) → ``idle`` → ``busy`` →
+``dead``.  Death — pipe EOF, a kill, an injected chaos crash — charges
+exactly the lease's own in-flight point one attempt (attribution is exact,
+unlike the shared process pool) and respawns the slot; every other in-flight
+point is untouched.  Heartbeats map onto the existing
+:class:`~repro.scenarios.policy.PointPolicy`: a busy lease that has not
+answered within ``policy.timeout_s`` is declared dead, killed, and its point
+charged a timeout attempt, with retries/backoff/quarantine running through
+the same deterministic machinery as the pool backend.
+
+In streamed runs each worker is an *independent writer*: it appends finished
+artifacts with the full durability protocol and logs them to its own
+``index-<shard>.jsonl`` shard (see :mod:`repro.scenarios.stream`), then
+reports the index entry back for the coordinator to adopt into the manifest.
+Worker-side faults keep exact parity with the pool backend's parent-side
+handling — same error ``repr`` strings, same torn-write artifact bytes, same
+attempt accounting — so serial, pool and fleet runs of one sweep are
+byte-identical after :func:`~repro.scenarios.stream.strip_costs`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from concurrent.futures import BrokenExecutor
+from pathlib import Path
+from queue import Empty, Queue
+
+from repro.scenarios.policy import PointPolicy
+from repro.scenarios.registry import register_executor
+from repro.util.validation import require
+
+#: Seconds a freshly spawned worker gets to print its ready line before the
+#: lease is recycled (generous: a worker imports numpy/scipy on startup).
+READY_TIMEOUT_S = 120.0
+
+#: Consecutive pre-ready deaths of one lease slot before the fleet concludes
+#: workers cannot start in this environment and raises instead of spinning.
+MAX_SPAWN_FAILURES = 3
+
+#: Lease health states.
+LEASED, IDLE, BUSY, DEAD = "leased", "idle", "busy", "dead"
+
+
+class RemoteWorkerError(RuntimeError):
+    """A failure reported over the wire by a fleet worker.
+
+    Carries the worker-side exception's ``repr`` verbatim — and *is* that
+    repr — so quarantine ledgers and manifest ``failed`` sections are
+    byte-identical whether a fault fired in a pool worker (whose exception
+    object crossed the pickle boundary) or in a fleet worker (whose repr
+    crossed the pipe).
+    """
+
+    def __init__(self, error_repr: str):
+        super().__init__(error_repr)
+        self.error_repr = error_repr
+
+    def __repr__(self) -> str:
+        return self.error_repr
+
+
+def _worker_env() -> dict:
+    """Return the environment fleet workers inherit.
+
+    The coordinator's environment propagates wholesale — that is what makes
+    ``REPRO_CHAOS`` schedules reach workers with zero plumbing — plus the
+    directory this very ``repro`` package was imported from is prepended to
+    ``PYTHONPATH``, so workers resolve the same code even when the parent
+    imported it via ``sys.path`` manipulation rather than an install.
+    """
+    import repro
+
+    env = dict(os.environ)
+    package_root = str(Path(repro.__file__).resolve().parents[1])
+    existing = env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+class _Lease:
+    """One worker slot: a subprocess, its health state, its in-flight point."""
+
+    def __init__(self, slot: int):
+        self.slot = slot
+        self.shard = f"w{slot}"
+        self.state = DEAD
+        self.process: subprocess.Popen | None = None
+        self.task: tuple[int, int] | None = None  # (index, attempt)
+        self.deadline: float | None = None
+        self.ready_deadline: float | None = None
+        self.spawn_failures = 0
+
+
+def _pump(slot: int, process: subprocess.Popen, events: Queue) -> None:
+    """Reader thread: forward one worker's stdout lines, then its EOF."""
+    try:
+        for line in process.stdout:
+            events.put((slot, process, "line", line))
+    except Exception:  # pragma: no cover - pipe torn down mid-read
+        pass
+    events.put((slot, process, "eof", None))
+
+
+@register_executor("subprocess-fleet", aliases=("fleet",))
+class SubprocessFleetExecutor:
+    """Coordinator for a fleet of leased worker subprocesses."""
+
+    name = "subprocess-fleet"
+
+    def execute(self, ctx) -> None:
+        policy = (ctx.policy or PointPolicy()).validate()
+        indices = list(ctx.indices)
+        if not indices:
+            return
+        spec_list = ctx.spec_list
+        events: Queue = Queue()
+        queue: deque = deque((index, 0) for index in indices)
+        delayed: list = []  # (ready_monotonic, tiebreak, index, attempt)
+        seq = 0
+        outstanding = len(indices)  # points neither delivered nor quarantined
+
+        def fail_point(index: int, attempt: int, error: BaseException) -> None:
+            """Charge one attempt; requeue (after backoff) or quarantine."""
+            nonlocal seq, outstanding
+            if attempt < policy.max_retries:
+                delay = policy.retry_delay(
+                    spec_list[index].seed, spec_list[index].fingerprint(), attempt
+                )
+                if delay > 0:
+                    seq += 1
+                    heapq.heappush(
+                        delayed, (time.monotonic() + delay, seq, index, attempt + 1)
+                    )
+                else:
+                    queue.append((index, attempt + 1))
+                return
+            if ctx.on_quarantine is not None:
+                ctx.on_quarantine(index, attempt + 1, error)
+                outstanding -= 1
+                return
+            raise error
+
+        # Importing the module by its canonical name (rather than running it
+        # as __main__ via -m) keeps the worker's registry seeing exactly one
+        # SubprocessFleetExecutor class when it later resolves components.
+        worker_cmd = [
+            sys.executable,
+            "-c",
+            "from repro.scenarios.fleet import worker_main; "
+            "raise SystemExit(worker_main())",
+        ]
+
+        def spawn(lease: _Lease) -> None:
+            lease.process = subprocess.Popen(
+                worker_cmd,
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                env=_worker_env(),
+                text=True,
+                encoding="utf-8",
+                bufsize=1,
+            )
+            lease.state = LEASED
+            lease.task = None
+            lease.deadline = None
+            lease.ready_deadline = time.monotonic() + READY_TIMEOUT_S
+            threading.Thread(
+                target=_pump, args=(lease.slot, lease.process, events), daemon=True
+            ).start()
+
+        def kill(lease: _Lease) -> None:
+            lease.state = DEAD
+            process = lease.process
+            if process is None:
+                return
+            try:
+                process.kill()
+            except Exception:  # pragma: no cover - already dead
+                pass
+            try:
+                process.wait(timeout=5)
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+        def send(lease: _Lease, index: int, attempt: int) -> None:
+            """Hand one point to an idle lease; on a dead pipe, let EOF handle it."""
+            task = {
+                "op": "run",
+                "index": index,
+                "attempt": attempt,
+                "spec": spec_list[index].to_dict(),
+                "timed": ctx.timed,
+            }
+            if ctx.stream is not None:
+                task["stream"] = {
+                    "directory": str(ctx.stream.directory),
+                    "compress": bool(ctx.stream.compress),
+                    "shard": lease.shard,
+                }
+            lease.task = (index, attempt)
+            lease.state = BUSY
+            lease.deadline = (
+                time.monotonic() + policy.timeout_s
+                if policy.timeout_s is not None
+                else None
+            )
+            try:
+                lease.process.stdin.write(json.dumps(task) + "\n")
+                lease.process.stdin.flush()
+            except (BrokenPipeError, OSError, ValueError):
+                # The worker died holding the lease; its EOF event (already
+                # queued or imminent) charges the point and respawns.
+                pass
+
+        def on_death(lease: _Lease) -> None:
+            """EOF from a lease: charge its in-flight point, recycle the slot."""
+            was, task = lease.state, lease.task
+            lease.state = DEAD
+            lease.task = None
+            lease.deadline = None
+            if was == LEASED:
+                lease.spawn_failures += 1
+                require(
+                    lease.spawn_failures < MAX_SPAWN_FAILURES,
+                    f"fleet worker slot {lease.slot} died {lease.spawn_failures} "
+                    f"times before becoming ready; workers cannot start "
+                    f"(is repro.scenarios.fleet importable by {sys.executable}?)",
+                )
+            if was == BUSY and task is not None:
+                index, attempt = task
+                fail_point(
+                    index, attempt, BrokenExecutor(f"worker died running point {index}")
+                )
+            if outstanding > 0:
+                spawn(lease)
+
+        def on_message(lease: _Lease, line: str) -> None:
+            nonlocal outstanding
+            try:
+                message = json.loads(line)
+            except json.JSONDecodeError:
+                # A worker that corrupts its protocol stream is as good as
+                # dead: kill it, charge its point, recycle the slot.
+                task = lease.task
+                kill(lease)
+                lease.task = None
+                if task is not None:
+                    index, attempt = task
+                    fail_point(
+                        index,
+                        attempt,
+                        RemoteWorkerError(
+                            f"RuntimeError('worker {lease.slot} sent an "
+                            f"undecodable protocol line')"
+                        ),
+                    )
+                if outstanding > 0:
+                    spawn(lease)
+                return
+            op = message.get("op") if isinstance(message, dict) else None
+            if op == "ready":
+                lease.spawn_failures = 0
+                lease.ready_deadline = None
+                if lease.state == LEASED:
+                    lease.state = IDLE
+                return
+            if op not in ("done", "error") or lease.task is None:
+                return  # stray chatter; harmless
+            index, attempt = lease.task
+            lease.task = None
+            lease.state = IDLE
+            lease.deadline = None
+            if op == "error":
+                fail_point(index, attempt, RemoteWorkerError(str(message.get("error"))))
+                return
+            if ctx.stream is not None and message.get("entry") is not None:
+                # The worker already wrote the artifact and its shard index
+                # line durably; the coordinator only adopts the entry.
+                ctx.stream.adopt(message["entry"])
+            else:
+                from repro.scenarios.runner import RunRecord
+
+                ctx.on_complete(index, RunRecord.from_dict(message["record"]), attempt)
+            outstanding -= 1
+
+        fleet = {
+            slot: _Lease(slot) for slot in range(max(1, min(ctx.workers, len(indices))))
+        }
+        try:
+            for lease in fleet.values():
+                spawn(lease)
+            while outstanding > 0:
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    _, _, index, attempt = heapq.heappop(delayed)
+                    queue.append((index, attempt))
+                for lease in fleet.values():
+                    if lease.state == IDLE and queue:
+                        send(lease, *queue.popleft())
+                # Sleep until the next actionable instant: a worker message,
+                # a lease deadline, a spawn deadline, or a backoff expiry.
+                wakeups = [
+                    lease.deadline
+                    for lease in fleet.values()
+                    if lease.state == BUSY and lease.deadline is not None
+                ]
+                wakeups += [
+                    lease.ready_deadline
+                    for lease in fleet.values()
+                    if lease.state == LEASED and lease.ready_deadline is not None
+                ]
+                if delayed:
+                    wakeups.append(delayed[0][0])
+                timeout = (
+                    max(0.0, min(wakeups) - time.monotonic()) if wakeups else None
+                )
+                batch = []
+                try:
+                    batch.append(events.get(timeout=timeout))
+                except Empty:
+                    pass
+                while True:
+                    try:
+                        batch.append(events.get_nowait())
+                    except Empty:
+                        break
+                for slot, process, kind, payload in batch:
+                    lease = fleet[slot]
+                    if lease.process is not process:
+                        continue  # an event from a lease's previous, replaced worker
+                    if kind == "eof":
+                        on_death(lease)
+                    else:
+                        on_message(lease, payload)
+                # Enforce heartbeat deadlines: a busy lease past its budget is
+                # killed and its point charged a timeout attempt (same message
+                # as the pool backend, for ledger parity).
+                now = time.monotonic()
+                for lease in fleet.values():
+                    if (
+                        lease.state == BUSY
+                        and lease.deadline is not None
+                        and lease.deadline <= now
+                    ):
+                        index, attempt = lease.task
+                        kill(lease)
+                        lease.task = None
+                        fail_point(
+                            index,
+                            attempt,
+                            TimeoutError(
+                                f"point {index} exceeded timeout_s={policy.timeout_s} "
+                                f"on attempt {attempt}"
+                            ),
+                        )
+                        if outstanding > 0:
+                            spawn(lease)
+                    elif (
+                        lease.state == LEASED
+                        and lease.ready_deadline is not None
+                        and lease.ready_deadline <= now
+                    ):
+                        lease.spawn_failures += 1
+                        kill(lease)
+                        require(
+                            lease.spawn_failures < MAX_SPAWN_FAILURES,
+                            f"fleet worker slot {lease.slot} failed to become "
+                            f"ready within {READY_TIMEOUT_S}s, "
+                            f"{lease.spawn_failures} time(s)",
+                        )
+                        spawn(lease)
+        except KeyboardInterrupt:
+            for lease in fleet.values():
+                kill(lease)
+            raise
+        finally:
+            self._shutdown(fleet)
+
+    @staticmethod
+    def _shutdown(fleet: dict) -> None:
+        """Ask every live worker to exit; escalate to kill after a grace period."""
+        for lease in fleet.values():
+            process = lease.process
+            if process is None or process.poll() is not None:
+                continue
+            try:
+                process.stdin.write('{"op": "shutdown"}\n')
+                process.stdin.flush()
+                process.stdin.close()
+            except Exception:
+                pass
+        deadline = time.monotonic() + 5.0
+        for lease in fleet.values():
+            process = lease.process
+            if process is None:
+                continue
+            try:
+                process.wait(timeout=max(0.0, deadline - time.monotonic()))
+            except Exception:
+                try:
+                    process.kill()
+                    process.wait(timeout=5)
+                except Exception:  # pragma: no cover - defensive
+                    pass
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+def _execute_task(task: dict, streams: dict) -> dict:
+    """Run one leased point; return the reply message.
+
+    Fault parity with the pool backend is deliberate, branch by branch: the
+    chaos shim runs first (``crash`` exits the process — the coordinator
+    sees EOF, exactly like ``BrokenProcessPool``; ``hang`` sleeps into the
+    heartbeat timeout; ``raise`` lands in the generic exception reply), and
+    a scheduled ``torn-write`` writes the same truncated artifact bytes the
+    parent-side path writes, with no index line, before failing the attempt
+    with the same :class:`~repro.scenarios.chaos.PointFault` message.
+    """
+    from repro.scenarios.chaos import (
+        PointFault,
+        active_chaos,
+        apply_worker_chaos,
+        chaos_decision,
+        tear_artifact,
+    )
+    from repro.scenarios.runner import execute_spec, execute_spec_timed
+    from repro.scenarios.spec import ScenarioSpec
+    from repro.scenarios.stream import SweepStream
+
+    index, attempt = task["index"], task["attempt"]
+    reply = {"op": "done", "index": index, "attempt": attempt}
+    try:
+        spec = ScenarioSpec.from_dict(task["spec"])
+        fingerprint = spec.fingerprint()
+        apply_worker_chaos(fingerprint, attempt)
+        stream_info = task.get("stream")
+        if stream_info is None:
+            if task.get("timed"):
+                record, wall_clock_s = execute_spec_timed(spec)
+                reply["record"] = record.to_dict()
+                reply["wall_clock_s"] = wall_clock_s
+            else:
+                reply["record"] = execute_spec(spec).to_dict()
+            return reply
+        key = (stream_info["directory"], stream_info["shard"])
+        stream = streams.get(key)
+        if stream is None:
+            stream = SweepStream(
+                stream_info["directory"],
+                compress=stream_info["compress"],
+                shard=stream_info["shard"],
+            )
+            streams[key] = stream
+        record, wall_clock_s = execute_spec_timed(spec)
+        chaos = active_chaos()
+        if chaos is not None and chaos_decision(chaos, fingerprint, attempt) == "torn-write":
+            tear_artifact(stream, index, record)
+            raise PointFault(f"injected torn write for point {index} attempt {attempt}")
+        stream.record(index, record, wall_clock_s=wall_clock_s)
+        reply["entry"] = stream._recorded[fingerprint]
+        return reply
+    except KeyboardInterrupt:
+        raise
+    except BaseException as error:
+        return {"op": "error", "index": index, "attempt": attempt, "error": repr(error)}
+
+
+def worker_main() -> int:
+    """The worker process: serve leased tasks over stdin/stdout until shutdown."""
+    # The JSONL protocol owns fd 1.  Re-point sys.stdout at stderr so stray
+    # prints from scenario code cannot corrupt the protocol stream.
+    protocol = os.fdopen(os.dup(sys.stdout.fileno()), "w", buffering=1)
+    sys.stdout = sys.stderr
+
+    def reply(message: dict) -> None:
+        protocol.write(json.dumps(message, sort_keys=True) + "\n")
+        protocol.flush()
+
+    streams: dict = {}
+    reply({"op": "ready"})
+    try:
+        for line in sys.stdin:
+            if not line.strip():
+                continue
+            try:
+                task = json.loads(line)
+            except json.JSONDecodeError:
+                reply(
+                    {
+                        "op": "error",
+                        "error": f"RuntimeError('undecodable task line: {line[:60]!r}')",
+                    }
+                )
+                continue
+            op = task.get("op") if isinstance(task, dict) else None
+            if op == "shutdown":
+                break
+            if op != "run":
+                reply({"op": "error", "error": f"RuntimeError('unknown op: {op!r}')"})
+                continue
+            reply(_execute_task(task, streams))
+    finally:
+        for stream in streams.values():
+            stream.close()
+    return 0

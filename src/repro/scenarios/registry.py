@@ -12,6 +12,9 @@ in one of three registries:
 * :data:`TOPOLOGIES` — initial-graph generators, registered by
   :mod:`repro.harness.workloads` (whose ``WORKLOADS`` mapping is a live view
   of this registry — one name table, not two).
+* :data:`EXECUTORS` — sweep execution backends (how ``run_scenarios`` fans
+  points out: inline, process pool, worker fleet), registered by
+  :mod:`repro.scenarios.executors` and :mod:`repro.scenarios.fleet`.
 
 Registration is a decorator::
 
@@ -58,6 +61,8 @@ PROVIDER_MODULES: tuple[str, ...] = (
     "repro.adversary.strategies",
     "repro.harness.workloads",
     "repro.scenarios.chaos",
+    "repro.scenarios.executors",
+    "repro.scenarios.fleet",
 )
 
 #: Entry-point group -> registry kind (None = load-only, for ``@register_*``
@@ -66,6 +71,7 @@ ENTRY_POINT_GROUPS: dict[str, str | None] = {
     "repro.healers": "healer",
     "repro.adversaries": "adversary",
     "repro.topologies": "topology",
+    "repro.executors": "executor",
     "repro.plugins": None,
 }
 
@@ -74,7 +80,12 @@ _populating = False
 
 
 def _registry_for_kind(kind: str) -> "Registry":
-    return {"healer": HEALERS, "adversary": ADVERSARIES, "topology": TOPOLOGIES}[kind]
+    return {
+        "healer": HEALERS,
+        "adversary": ADVERSARIES,
+        "topology": TOPOLOGIES,
+        "executor": EXECUTORS,
+    }[kind]
 
 
 def _iter_entry_points(group: str):
@@ -229,6 +240,7 @@ class Registry:
 HEALERS = Registry("healer")
 ADVERSARIES = Registry("adversary")
 TOPOLOGIES = Registry("topology")
+EXECUTORS = Registry("executor")
 
 
 def register_healer(name: str, *, aliases: Iterable[str] = ()):
@@ -246,6 +258,11 @@ def register_topology(name: str, *, aliases: Iterable[str] = ()):
     return TOPOLOGIES.register(name, aliases=aliases)
 
 
+def register_executor(name: str, *, aliases: Iterable[str] = ()):
+    """Class decorator adding a sweep backend to the :data:`EXECUTORS` registry."""
+    return EXECUTORS.register(name, aliases=aliases)
+
+
 def list_healers() -> list[str]:
     """Return the names of every registered healer."""
     return HEALERS.names()
@@ -259,3 +276,8 @@ def list_adversaries() -> list[str]:
 def list_topologies() -> list[str]:
     """Return the names of every registered topology generator."""
     return TOPOLOGIES.names()
+
+
+def list_executors() -> list[str]:
+    """Return the names of every registered sweep execution backend."""
+    return EXECUTORS.names()

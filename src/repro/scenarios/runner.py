@@ -186,6 +186,17 @@ def execute_point_timed(spec: ScenarioSpec, attempt: int = 0) -> tuple[RunRecord
     return execute_spec_timed(spec)
 
 
+def build_pool(workers: int) -> ProcessPoolExecutor:
+    """Construct the worker pool every pooled execution path shares.
+
+    The single pool-construction site: initial setup, post-crash respawn and
+    timeout recovery all come through here, so pool configuration (worker
+    count clamping, a future ``mp_context`` choice) cannot drift between the
+    happy path and the recovery paths.
+    """
+    return ProcessPoolExecutor(max_workers=max(1, workers))
+
+
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
     """Terminate a pool's worker processes and abandon its futures.
 
@@ -221,6 +232,7 @@ def run_scenarios(
     compress: bool | None = None,
     policy: PointPolicy | None = None,
     retry_failed: bool = False,
+    executor: str | None = None,
 ):
     """Run every scenario, buffered in memory or streamed to a directory.
 
@@ -230,6 +242,14 @@ def run_scenarios(
     before any work is scheduled.  ``max_pending`` caps in-flight submissions
     (default ``4 * workers``) so million-point grids don't materialize a
     future per point at once.
+
+    ``executor`` names a registered execution backend (``serial``,
+    ``process-pool``, ``subprocess-fleet``, or a third-party
+    ``repro.executors`` entry point — see
+    :mod:`repro.scenarios.executors`); ``None`` keeps the automatic
+    inline-vs-pool choice above.  Backends change only *where* points
+    execute, never what they produce: artifact bytes and (cost-stripped)
+    manifests are identical across every backend.
 
     Without ``stream_to``/``resume`` the call returns ``list[RunRecord]`` in
     spec order — every record buffered in memory, as before.
@@ -277,27 +297,36 @@ def run_scenarios(
     )
     policy = (policy or PointPolicy()).validate()
     if stream_to is None and resume is None:
-        from repro.scenarios.chaos import active_chaos
+        from repro.scenarios.executors import ExecutionContext, resolve_executor
 
-        if (workers == 1 or len(spec_list) <= 1) and not policy.active and active_chaos() is None:
-            return [execute_spec(spec) for spec in spec_list]
+        backend = resolve_executor(executor, workers, len(spec_list))
         records: list[RunRecord | None] = [None] * len(spec_list)
 
         def on_complete(index: int, record: RunRecord, attempt: int) -> None:
             records[index] = record
 
-        _run_pooled(
-            spec_list,
-            range(len(spec_list)),
-            workers,
-            max_pending,
-            on_complete,
-            fn=execute_point,
-            policy=policy,
+        backend.execute(
+            ExecutionContext(
+                spec_list=spec_list,
+                indices=range(len(spec_list)),
+                workers=workers,
+                max_pending=max_pending,
+                policy=policy,
+                timed=False,
+                on_complete=on_complete,
+            )
         )
         return records  # type: ignore[return-value]
     return _run_streamed(
-        spec_list, workers, max_pending, stream_to, resume, compress, policy, retry_failed
+        spec_list,
+        workers,
+        max_pending,
+        stream_to,
+        resume,
+        compress,
+        policy,
+        retry_failed,
+        executor,
     )
 
 
@@ -379,9 +408,9 @@ def _run_pooled(
             queue.append((index, attempt))
         for _, index, attempt, error in charged:
             fail_point(index, attempt, error)
-        return ProcessPoolExecutor(max_workers=workers)
+        return build_pool(workers)
 
-    pool = ProcessPoolExecutor(max_workers=workers)
+    pool = build_pool(workers)
     try:
         while queue or delayed or pending:
             now = time.monotonic()
@@ -463,7 +492,7 @@ def _run_pooled(
                 )
                 pending.clear()
                 _kill_pool(pool)
-                pool = ProcessPoolExecutor(max_workers=workers)
+                pool = build_pool(workers)
                 for _, index, attempt in innocents:
                     queue.append((index, attempt))
                 for _, index, attempt in timed_out:
@@ -484,10 +513,11 @@ def _run_pooled(
 
 
 def _run_streamed(
-    spec_list, workers, max_pending, stream_to, resume, compress, policy, retry_failed
+    spec_list, workers, max_pending, stream_to, resume, compress, policy, retry_failed, executor=None
 ):
     """The ``stream_to``/``resume`` execution path of :func:`run_scenarios`."""
     from repro.scenarios.chaos import PointFault, active_chaos, chaos_decision, tear_artifact
+    from repro.scenarios.executors import ExecutionContext, resolve_executor
     from repro.scenarios.stream import (
         StreamResult,
         SweepStream,
@@ -503,10 +533,12 @@ def _run_streamed(
     chaos = active_chaos()
     stream = SweepStream(stream_to, compress=compress)
     if resume is None:
+        existing = stream.index_paths()
         require(
-            not stream.index_path.exists(),
-            f"{stream.index_path} already exists; pass resume=<dir> to continue "
-            f"that sweep, or stream to a fresh directory",
+            not existing,
+            f"{existing[0] if existing else stream.index_path} already exists; "
+            f"pass resume=<dir> to continue that sweep, or stream to a fresh "
+            f"directory",
         )
     fingerprints = [spec.fingerprint() for spec in spec_list]
     duplicated = sorted(fp for fp, count in Counter(fingerprints).items() if count > 1)
@@ -559,20 +591,20 @@ def _run_streamed(
         failed_now[fingerprints[index]] = entry
 
     with stream:
-        if (workers == 1 or len(todo) <= 1) and not policy.active and chaos is None:
-            for index in todo:
-                record_point(index, execute_spec_timed(spec_list[index]))
-        else:
-            _run_pooled(
-                spec_list,
-                todo,
-                workers,
-                max_pending,
-                record_point,
-                fn=execute_point_timed,
+        backend = resolve_executor(executor, workers, len(todo))
+        backend.execute(
+            ExecutionContext(
+                spec_list=spec_list,
+                indices=todo,
+                workers=workers,
+                max_pending=max_pending,
                 policy=policy,
+                timed=True,
+                on_complete=record_point,
                 on_quarantine=quarantine,
+                stream=stream,
             )
+        )
         manifest = stream.finalize(spec_list, verified=completed, failed=failed_prior)
     entries = manifest["entries"]
     executed = len(todo) - len(failed_now)
@@ -593,11 +625,13 @@ def run_sweep(
     compress: bool | None = None,
     policy: PointPolicy | None = None,
     retry_failed: bool = False,
+    executor: str | None = None,
 ):
     """Expand a :class:`~repro.scenarios.sweep.SweepSpec` and run its grid.
 
     The sweep file's own ``policy`` applies unless an explicit ``policy``
-    argument overrides it wholesale.
+    argument overrides it wholesale; likewise its ``executor`` unless an
+    explicit ``executor`` argument names a backend.
     """
     return run_scenarios(
         sweep.expand(),
@@ -607,4 +641,5 @@ def run_sweep(
         compress=compress,
         policy=policy if policy is not None else getattr(sweep, "policy", None),
         retry_failed=retry_failed,
+        executor=executor if executor is not None else getattr(sweep, "executor", None),
     )

@@ -5,6 +5,9 @@ A streamed sweep writes one directory::
     <dir>/0003-<slug>.jsonl       one JSONL artifact per completed point
     <dir>/0003-<slug>.jsonl.gz    (the same, gzip-encoded, with compress=True)
     <dir>/index.jsonl             append-only completion log (one line per point)
+    <dir>/index-<worker>.jsonl    per-worker shard of the completion log, when
+                                  an executor backend's workers write their own
+                                  index lines (the subprocess fleet)
     <dir>/failures.jsonl          append-only quarantine ledger (points that
                                   exhausted their retry budget; often absent)
     <dir>/MANIFEST.json           canonical manifest, written on completion
@@ -29,11 +32,21 @@ finished sweep is the artifact files plus ``MANIFEST.json`` *modulo the cost
 columns* — ``wall_clock_s`` / ``step_cost_s`` are observed timings, so
 :func:`strip_costs` removes them before any identity comparison.
 
+A single-writer stream appends to ``index.jsonl``; a multi-writer run gives
+each worker its own ``index-<worker>.jsonl`` shard (same line format, same
+per-line fsync) so no two processes ever contend on one file.  Every reader
+— resume, ``repro report``, ``--watch``, manifest finalization — goes
+through the deterministic merge :func:`iter_all_index_entries`: the legacy
+``index.jsonl`` first, then the shards in sorted filename order, lines in
+file order, *last write wins* per fingerprint.  A directory with only the
+legacy index therefore reads exactly as before, and mixed directories (a
+pool-streamed run resumed by a fleet, or vice versa) merge unambiguously.
+
 Resumption keys on :meth:`~repro.scenarios.spec.ScenarioSpec.fingerprint`
 (canonical-JSON SHA-256): a point is skipped iff its fingerprint appears in
-the index *and* its artifact file is still present with exactly the recorded
-bytes (the index line also carries a whole-file SHA-256).  Torn tail writes
-in the index (a crash mid-append) are tolerated and ignored.  The recorded
+the merged index *and* its artifact file is still present with exactly the
+recorded bytes (the index line also carries a whole-file SHA-256).  Torn
+tail writes in any index file (a crash mid-append) are tolerated.  The recorded
 wall-clock costs feed :func:`order_most_expensive_first`, which lets a
 resume schedule its missing points longest-first so parallel stragglers
 finish sooner.
@@ -44,6 +57,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import time
 import zlib
 from dataclasses import dataclass
@@ -57,6 +71,60 @@ from repro.util.validation import require
 
 INDEX_NAME = "index.jsonl"
 MANIFEST_NAME = "MANIFEST.json"
+
+#: Shard index filenames (``index-<worker>.jsonl``): one per independent
+#: writer.  Shard names are restricted so sorted-filename merge order is
+#: well defined and a shard can never collide with an artifact name.
+_SHARD_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*\Z")
+
+
+def shard_index_name(shard: str) -> str:
+    """Return the index filename a worker shard writes to."""
+    require(
+        bool(_SHARD_NAME.match(shard)),
+        f"shard name {shard!r} must be alphanumeric (plus '._-'), "
+        f"starting with an alphanumeric",
+    )
+    return f"index-{shard}.jsonl"
+
+
+def is_index_name(name: str) -> bool:
+    """Return whether ``name`` is the legacy index or a worker shard of it."""
+    return name == INDEX_NAME or (
+        name.startswith("index-") and name.endswith(".jsonl")
+    )
+
+
+def shard_index_paths(directory: Path) -> list[Path]:
+    """Return the directory's shard index files in merge (sorted-name) order."""
+    return sorted(Path(directory).glob("index-*.jsonl"))
+
+
+def index_paths(directory: Path) -> list[Path]:
+    """Return every index file present, legacy first, then shards in order.
+
+    This list *is* the merge order: readers that fold entries into a dict
+    keyed by fingerprint get last-write-wins determinism for free.
+    """
+    directory = Path(directory)
+    paths = []
+    if (directory / INDEX_NAME).exists():
+        paths.append(directory / INDEX_NAME)
+    paths.extend(shard_index_paths(directory))
+    return paths
+
+
+def iter_all_index_entries(directory: Path):
+    """Yield every index entry of a directory in deterministic merge order.
+
+    Legacy ``index.jsonl`` entries first, then each ``index-<worker>.jsonl``
+    shard in sorted filename order, lines in file order — so consumers that
+    keep the last entry per fingerprint agree across processes and runs.
+    Torn tails and unparseable lines are skipped per file, exactly like
+    :func:`iter_index_entries`.
+    """
+    for path in index_paths(directory):
+        yield from iter_index_entries(path)
 
 #: Append-only quarantine ledger: one fsync'd line per point that exhausted
 #: its retry budget (fingerprint, attempts, exception repr, wall clock).
@@ -109,13 +177,13 @@ def iter_index_entries(index_path: Path):
 def detect_compression(directory: Path) -> bool | None:
     """Return the compression a directory's recorded artifacts use, if any.
 
-    The index is authoritative (its artifact names reflect what the writer
-    produced); a directory with artifacts but no index falls back to the
-    filenames on disk.  ``None`` means no evidence either way (fresh or
-    empty directory).
+    The index (legacy or any worker shard) is authoritative (its artifact
+    names reflect what the writer produced); a directory with artifacts but
+    no index falls back to the filenames on disk.  ``None`` means no
+    evidence either way (fresh or empty directory).
     """
     directory = Path(directory)
-    for entry in iter_index_entries(directory / INDEX_NAME):
+    for entry in iter_all_index_entries(directory):
         artifact = entry.get("artifact")
         if isinstance(artifact, str) and artifact:
             return artifact.endswith(".gz")
@@ -214,10 +282,24 @@ class SweepStream:
     falls back to uncompressed for a fresh directory.  An explicit value
     that contradicts the directory's recorded format is an error: mixing
     encodings within one sweep would break byte-identity with a serial run.
+
+    ``shard`` makes this stream an *independent index writer*: its index
+    lines go to ``index-<shard>.jsonl`` instead of the shared
+    ``index.jsonl``, so many worker processes can append concurrently
+    without contending on (or interleaving within) one file.  Reads —
+    :meth:`completed`, compression detection — always cover the legacy
+    index plus every shard, so shard writers and single-writer streams see
+    one coherent directory.
     """
 
-    def __init__(self, directory: str | Path, compress: bool | None = None):
+    def __init__(
+        self,
+        directory: str | Path,
+        compress: bool | None = None,
+        shard: str | None = None,
+    ):
         self.directory = Path(directory)
+        self.shard = shard
         self.directory.mkdir(parents=True, exist_ok=True)
         detected = detect_compression(self.directory)
         require(
@@ -241,8 +323,14 @@ class SweepStream:
 
     @property
     def index_path(self) -> Path:
-        """Return the path of the append-only index file."""
+        """Return the index file *this stream appends to* (legacy or shard)."""
+        if self.shard is not None:
+            return self.directory / shard_index_name(self.shard)
         return self.directory / INDEX_NAME
+
+    def index_paths(self) -> list[Path]:
+        """Return every index file present, in deterministic merge order."""
+        return index_paths(self.directory)
 
     @property
     def manifest_path(self) -> Path:
@@ -291,6 +379,21 @@ class SweepStream:
         os.fsync(self._index_handle.fileno())
         self._recorded[fingerprint] = entry
         return path
+
+    def adopt(self, entry: dict) -> None:
+        """Trust an index entry durably recorded by an *independent* writer.
+
+        Fleet workers write their own artifacts and shard index lines, then
+        report the entry back; the coordinator adopts it so
+        :meth:`finalize` covers the point without rescanning the directory.
+        Only entries whose artifact and index line are already fsync'd on
+        disk may be adopted — adopting is bookkeeping, not persistence.
+        """
+        require(
+            isinstance(entry, dict) and isinstance(entry.get("fingerprint"), str),
+            "an adopted index entry must be a dict carrying its fingerprint",
+        )
+        self._recorded[entry["fingerprint"]] = entry
 
     def record_failure(self, index: int, spec, attempts: int, error: BaseException) -> dict:
         """Durably quarantine one point that exhausted its retries.
@@ -343,10 +446,12 @@ class SweepStream:
         artifact's first (spec) line fingerprints to the index entry's
         fingerprint — so deleting or tampering with an artifact (any line of
         it) re-runs exactly that point.  Unparseable index lines (torn tail
-        writes from a crash) are ignored.
+        writes from a crash) are ignored.  The scan merges the legacy index
+        with every worker shard (:func:`iter_all_index_entries`), the last
+        verified entry per fingerprint winning deterministically.
         """
         entries: dict[str, dict] = {}
-        for entry in iter_index_entries(self.index_path):
+        for entry in iter_all_index_entries(self.directory):
             if "fingerprint" not in entry:
                 continue
             if self._artifact_matches(entry):

@@ -149,6 +149,13 @@ class SweepSpec:
         changing the policy on a resume still matches every recorded
         artifact.  CLI flags (``--timeout`` / ``--max-retries`` /
         ``--backoff``) override it field-wise.
+    executor:
+        Optional name of the execution backend the sweep prefers
+        (``serial``, ``process-pool``, ``subprocess-fleet``, or a
+        third-party ``repro.executors`` entry point).  Operational like
+        ``policy``: it never enters the expanded specs or their
+        fingerprints, so any backend can resume a sweep started under any
+        other.  ``repro sweep --executor`` overrides it.
     """
 
     base: ScenarioSpec
@@ -157,6 +164,7 @@ class SweepSpec:
     derive_seeds: bool = False
     replicates: int = 1
     policy: PointPolicy | None = None
+    executor: str | None = None
 
     @property
     def label(self) -> str:
@@ -182,6 +190,12 @@ class SweepSpec:
         )
         if self.policy is not None:
             self.policy.validate()
+        if self.executor is not None:
+            # Resolve the name now (typo -> did-you-mean error at load time,
+            # not after the grid has been half-executed).
+            from repro.scenarios.registry import EXECUTORS
+
+            EXECUTORS.get(self.executor)
         for key, values in self.axes.items():
             require(
                 isinstance(values, (list, tuple)) and len(values) > 0,
@@ -249,8 +263,9 @@ class SweepSpec:
     def to_dict(self) -> dict:
         """Return the sweep as a plain dict.
 
-        ``policy`` is omitted when unset, so the schema (and every sweep
-        fingerprint) of pre-policy documents is unchanged byte for byte.
+        ``policy`` and ``executor`` are omitted when unset, so the schema
+        (and every sweep fingerprint) of documents predating them is
+        unchanged byte for byte.
         """
         data = {
             "base": self.base.to_dict(),
@@ -261,12 +276,14 @@ class SweepSpec:
         }
         if self.policy is not None:
             data["policy"] = self.policy.to_dict()
+        if self.executor is not None:
+            data["executor"] = self.executor
         return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SweepSpec":
         """Build a sweep from a dict, rejecting unknown keys."""
-        known = {"base", "axes", "name", "derive_seeds", "replicates", "policy"}
+        known = {"base", "axes", "name", "derive_seeds", "replicates", "policy", "executor"}
         unknown = sorted(set(data) - known)
         require(not unknown, f"unknown SweepSpec fields {unknown}; known fields: {sorted(known)}")
         require("base" in data and "axes" in data, "SweepSpec requires 'base' and 'axes'")
@@ -278,6 +295,7 @@ class SweepSpec:
             derive_seeds=data.get("derive_seeds", False),
             replicates=data.get("replicates", 1),
             policy=None if policy is None else PointPolicy.from_dict(policy),
+            executor=data.get("executor"),
         )
 
     def to_json(self) -> str:

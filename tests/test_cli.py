@@ -277,3 +277,49 @@ def test_run_replay_roundtrip_including_compressed_artifact(spec_file, tmp_path,
     capsys.readouterr()
     assert cli_main(["replay", str(artifact)]) == 0
     assert "replay identical: True" in capsys.readouterr().out
+
+
+# -- executor selection (ISSUE 7) ---------------------------------------------
+
+
+@pytest.mark.parametrize("workers", ["0", "-2"])
+def test_sweep_rejects_non_positive_workers(sweep_file, capsys, workers):
+    assert cli_main(["sweep", str(sweep_file), "--workers", workers]) == 2
+    err = capsys.readouterr().err
+    assert "--workers must be at least 1" in err
+    assert f"(got {workers})" in err
+    assert "Traceback" not in err
+
+
+def test_sweep_unknown_executor_suggests_the_nearest_name(sweep_file, capsys):
+    code = cli_main(["sweep", str(sweep_file), "--executor", "subproces-fleet"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown executor 'subproces-fleet'" in err
+    assert "did you mean 'subprocess-fleet'?" in err
+
+
+def test_list_includes_the_executor_registry(capsys):
+    assert cli_main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "executors:" in out
+    for name in ("serial", "process-pool", "subprocess-fleet"):
+        assert name in out
+
+
+def test_list_kind_executors_shows_only_executors(capsys):
+    assert cli_main(["list", "--kind", "executors"]) == 0
+    out = capsys.readouterr().out
+    assert "executors:" in out and "subprocess-fleet" in out
+    assert "healers:" not in out
+
+
+def test_sweep_explicit_executor_runs_to_completion(sweep_file, tmp_path, capsys):
+    directory = tmp_path / "fleet-run"
+    code = cli_main(
+        ["sweep", str(sweep_file), "--stream-to", str(directory),
+         "--executor", "subprocess-fleet", "--workers", "2"]
+    )
+    assert code == 0
+    assert "executed 2" in capsys.readouterr().out
+    assert list(directory.glob("index-w*.jsonl"))

@@ -1,0 +1,350 @@
+"""Executor backends: registry, dispatch, and the three-way differential.
+
+The contract under test (ISSUE 7 tentpole): execution placement is
+operational, never part of a sweep's identity.  ``serial``, ``process-pool``
+and ``subprocess-fleet`` runs of one spec list produce byte-identical
+artifacts and (cost-stripped) manifests — buffered and streamed, fault-free
+and under a seeded ``REPRO_CHAOS`` schedule, straight through and across a
+kill-and-resume.  The fleet additionally proves exact per-point fault
+attribution (one leased point per worker) and worker respawn without losing
+in-flight points.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import (
+    ChaosSpec,
+    PointPolicy,
+    ScenarioSpec,
+    SweepSpec,
+    list_executors,
+    run_scenarios,
+)
+from repro.scenarios.chaos import ENV_VAR
+from repro.scenarios.executors import (
+    ExecutionContext,
+    ProcessPoolBackend,
+    SerialExecutor,
+    resolve_executor,
+)
+from repro.scenarios.fleet import RemoteWorkerError, SubprocessFleetExecutor
+from repro.scenarios.registry import EXECUTORS, UnknownNameError
+from repro.scenarios.stream import (
+    FAILURES_NAME,
+    MANIFEST_NAME,
+    is_index_name,
+    strip_costs,
+)
+from repro.util.validation import ValidationError
+
+BACKENDS = ("serial", "process-pool", "subprocess-fleet")
+
+BASE = ScenarioSpec(
+    name="executor-test",
+    healer="xheal",
+    healer_kwargs={"kappa": 4},
+    adversary="random",
+    adversary_kwargs={"delete_probability": 0.6},
+    topology="random-regular",
+    topology_kwargs={"n": 16, "degree": 4},
+    timesteps=5,
+    metric_every=3,
+    exact_expansion_limit=0,
+    stretch_sample_pairs=20,
+    seed=3,
+)
+
+SWEEP = SweepSpec(base=BASE, axes={"timesteps": [3, 5], "healer_kwargs.kappa": [2, 4]})
+
+#: The schedule test_chaos.py pins (seed 43 faults every SWEEP point's first
+#: attempt across crash/raise/torn-write, with a clean attempt within 3
+#: retries) — reused here so the fleet faces worker deaths, injected raises
+#: AND torn shard writes in one differential.
+CHAOS = ChaosSpec(crash_prob=0.3, raise_prob=0.25, torn_write_prob=0.25, seed=43)
+
+
+def canonical_files(directory: Path):
+    """Byte-identity surface of a sweep directory, shard-index aware.
+
+    Excludes every completion log — the legacy ``index.jsonl`` *and* any
+    ``index-<worker>.jsonl`` shard — plus the quarantine ledger: all
+    append-only operational history.  The manifest participates through
+    :func:`strip_costs`.
+    """
+    directory = Path(directory)
+    files = {
+        path.name: path.read_bytes()
+        for path in directory.iterdir()
+        if not is_index_name(path.name)
+        and path.name not in (MANIFEST_NAME, FAILURES_NAME)
+        and not path.name.startswith(".")
+    }
+    manifest = directory / MANIFEST_NAME
+    if manifest.is_file():
+        files[MANIFEST_NAME] = strip_costs(json.loads(manifest.read_text()))
+    return files
+
+
+# -- registry -----------------------------------------------------------------
+
+
+def test_executor_registry_lists_the_three_shipped_backends():
+    names = list_executors()
+    for name in BACKENDS:
+        assert name in names
+
+
+def test_executor_aliases_resolve_to_the_registered_backends():
+    assert EXECUTORS.get("fleet") is SubprocessFleetExecutor
+    assert EXECUTORS.get("pool") is ProcessPoolBackend
+    assert EXECUTORS.get("inline") is SerialExecutor
+
+
+def test_unknown_executor_gets_a_did_you_mean_suggestion():
+    with pytest.raises(UnknownNameError, match="did you mean 'process-pool'"):
+        EXECUTORS.get("proces-pool")
+
+
+def test_resolve_executor_keeps_the_historical_automatic_choice():
+    assert isinstance(resolve_executor(None, 1, 10), SerialExecutor)
+    assert isinstance(resolve_executor(None, 4, 1), SerialExecutor)
+    assert isinstance(resolve_executor(None, 4, 10), ProcessPoolBackend)
+    assert isinstance(resolve_executor("fleet", 1, 10), SubprocessFleetExecutor)
+
+
+# -- sweep-file integration ---------------------------------------------------
+
+
+def test_sweep_spec_executor_field_roundtrips_and_stays_fingerprint_neutral():
+    with_executor = SweepSpec(
+        base=BASE, axes={"timesteps": [3, 5]}, executor="subprocess-fleet"
+    )
+    bare = SweepSpec(base=BASE, axes={"timesteps": [3, 5]})
+    assert SweepSpec.from_json(with_executor.to_json()).executor == "subprocess-fleet"
+    # Operational, not identity: the expanded points are the same specs.
+    assert [s.fingerprint() for s in with_executor.expand()] == [
+        s.fingerprint() for s in bare.expand()
+    ]
+    # Pre-executor documents keep their bytes (and hence sweep fingerprints).
+    assert "executor" not in bare.to_dict()
+    assert SweepSpec.from_json(bare.to_json()) == bare
+
+
+def test_sweep_spec_rejects_an_unknown_executor_at_validation_time():
+    with pytest.raises(UnknownNameError, match="unknown executor"):
+        SweepSpec(base=BASE, axes={"timesteps": [3]}, executor="nope").validate()
+
+
+# -- the three-way differential -----------------------------------------------
+
+
+def test_buffered_differential_across_all_backends():
+    specs = SWEEP.expand()
+    results = {
+        name: [r.to_dict() for r in run_scenarios(specs, workers=2, executor=name)]
+        for name in BACKENDS
+    }
+    assert results["serial"] == results["process-pool"] == results["subprocess-fleet"]
+
+
+def test_streamed_differential_across_all_backends(tmp_path):
+    specs = SWEEP.expand()
+    surfaces = {}
+    for name in BACKENDS:
+        result = run_scenarios(specs, workers=2, stream_to=tmp_path / name, executor=name)
+        assert result.failed == 0 and result.executed == len(specs)
+        surfaces[name] = canonical_files(result.directory)
+    assert surfaces["serial"] == surfaces["process-pool"] == surfaces["subprocess-fleet"]
+
+
+def test_fleet_writes_per_worker_shard_indices_not_the_legacy_index(tmp_path):
+    specs = SWEEP.expand()
+    result = run_scenarios(
+        specs, workers=2, stream_to=tmp_path / "out", executor="subprocess-fleet"
+    )
+    directory = result.directory
+    assert not (directory / "index.jsonl").exists()
+    shards = sorted(path.name for path in directory.glob("index-*.jsonl"))
+    assert shards and set(shards) <= {"index-w0.jsonl", "index-w1.jsonl"}
+    # The shards jointly record every point exactly once.
+    entries = [
+        json.loads(line)
+        for shard in shards
+        for line in (directory / shard).read_text().splitlines()
+    ]
+    assert sorted(entry["index"] for entry in entries) == list(range(len(specs)))
+
+
+def test_fleet_chaos_differential_with_worker_kills(tmp_path, monkeypatch):
+    """Crash faults kill fleet workers mid-sweep; respawn + retries converge.
+
+    Attribution is exact at any fleet size (one leased point per worker), so
+    unlike the pool the fleet follows the schedule to the letter even with
+    workers=2 — the comparison baseline is the fault-free serial run.
+    """
+    specs = SWEEP.expand()
+    clean = run_scenarios(specs, stream_to=tmp_path / "clean")
+    monkeypatch.setenv(ENV_VAR, CHAOS.to_json())
+    chaotic = run_scenarios(
+        specs,
+        workers=2,
+        stream_to=tmp_path / "chaos",
+        executor="subprocess-fleet",
+        policy=PointPolicy(max_retries=3),
+    )
+    assert chaotic.failed == 0 and chaotic.executed == len(specs)
+    assert canonical_files(clean.directory) == canonical_files(chaotic.directory)
+
+
+def test_fleet_kill_and_resume_converges_to_serial_bytes(tmp_path, monkeypatch):
+    specs = SWEEP.expand()
+    clean = run_scenarios(specs, stream_to=tmp_path / "clean")
+    monkeypatch.setenv(ENV_VAR, CHAOS.to_json())
+    # "Crash" the coordinator after two points, then resume the full grid
+    # under the same schedule — still on the fleet, over its own shards.
+    run_scenarios(
+        specs[:2],
+        workers=2,
+        stream_to=tmp_path / "crash",
+        executor="subprocess-fleet",
+        policy=PointPolicy(max_retries=3),
+    )
+    resumed = run_scenarios(
+        specs,
+        workers=2,
+        resume=tmp_path / "crash",
+        executor="subprocess-fleet",
+        policy=PointPolicy(max_retries=3),
+    )
+    assert resumed.failed == 0
+    assert resumed.executed == len(specs) - 2 and resumed.skipped == 2
+    assert canonical_files(clean.directory) == canonical_files(resumed.directory)
+
+
+def test_any_backend_resumes_a_sweep_started_under_any_other(tmp_path):
+    specs = SWEEP.expand()
+    clean = run_scenarios(specs, stream_to=tmp_path / "clean")
+    # Legacy single-writer start (serial), fleet finish: the resume scan
+    # merges index.jsonl with the fleet's shards into one coherent directory.
+    run_scenarios(specs[:2], stream_to=tmp_path / "mixed", executor="serial")
+    resumed = run_scenarios(
+        specs, workers=2, resume=tmp_path / "mixed", executor="subprocess-fleet"
+    )
+    assert resumed.executed == len(specs) - 2 and resumed.skipped == 2
+    assert (tmp_path / "mixed" / "index.jsonl").exists()
+    assert list((tmp_path / "mixed").glob("index-*.jsonl"))
+    assert canonical_files(clean.directory) == canonical_files(resumed.directory)
+
+
+# -- fleet failure semantics --------------------------------------------------
+
+
+def test_fleet_quarantine_matches_the_pool_ledger_byte_for_byte(tmp_path, monkeypatch):
+    """A deterministic raise exhausts retries identically on pool and fleet.
+
+    The worker-side exception's repr crosses the fleet's pipe verbatim
+    (RemoteWorkerError), so the manifest ``failed`` sections — which feed
+    identity comparisons — agree with the pool's pickled-exception path.
+    """
+    specs = SWEEP.expand()
+    monkeypatch.setenv(ENV_VAR, ChaosSpec(raise_prob=1.0, seed=5).to_json())
+    sections = {}
+    for name in ("process-pool", "subprocess-fleet"):
+        run_scenarios(
+            specs,
+            workers=2,
+            stream_to=tmp_path / name,
+            executor=name,
+            policy=PointPolicy(max_retries=1),
+        )
+        manifest = json.loads((tmp_path / name / MANIFEST_NAME).read_text())
+        assert len(manifest["failed"]) == len(specs)
+        sections[name] = manifest["failed"]
+    assert sections["process-pool"] == sections["subprocess-fleet"]
+    assert all("ChaosError" in entry["error"] for entry in sections["subprocess-fleet"])
+
+
+def test_fleet_worker_death_charges_exactly_the_leased_point(tmp_path, monkeypatch):
+    """crash_prob=1.0 kills a worker on every attempt of every point.
+
+    Each death must charge exactly the dead worker's own leased point — the
+    quarantine ledger then shows precisely max_retries+1 attempts per point,
+    which only exact attribution produces.
+    """
+    specs = SWEEP.expand()[:2]
+    monkeypatch.setenv(ENV_VAR, ChaosSpec(crash_prob=1.0, seed=1).to_json())
+    result = run_scenarios(
+        specs,
+        workers=2,
+        stream_to=tmp_path / "out",
+        executor="subprocess-fleet",
+        policy=PointPolicy(max_retries=2),
+    )
+    assert result.failed == len(specs) and result.executed == 0
+    ledger = [
+        json.loads(line)
+        for line in (tmp_path / "out" / FAILURES_NAME).read_text().splitlines()
+    ]
+    assert sorted(entry["index"] for entry in ledger) == [0, 1]
+    assert all(entry["attempts"] == 3 for entry in ledger)
+    assert all("worker died running point" in entry["error"] for entry in ledger)
+
+
+def test_fleet_timeout_uses_the_same_error_message_as_the_pool(tmp_path, monkeypatch):
+    specs = [BASE.with_overrides(name="hung-point", timesteps=3)]
+    chaos = ChaosSpec(hang_prob=1.0, hang_s=30.0, seed=2)
+    monkeypatch.setenv(ENV_VAR, chaos.to_json())
+    result = run_scenarios(
+        specs,
+        stream_to=tmp_path / "out",
+        executor="subprocess-fleet",
+        policy=PointPolicy(timeout_s=1.0),
+    )
+    assert result.failed == 1
+    entry = json.loads((tmp_path / "out" / FAILURES_NAME).read_text().splitlines()[0])
+    assert entry["error"] == repr(
+        TimeoutError("point 0 exceeded timeout_s=1.0 on attempt 0")
+    )
+
+
+def test_remote_worker_error_repr_is_the_wire_payload_verbatim():
+    error = RemoteWorkerError("ChaosError('injected failure for abcdef123456 attempt 0')")
+    assert repr(error) == "ChaosError('injected failure for abcdef123456 attempt 0')"
+
+
+def test_fleet_raises_after_repeated_spawn_failures(monkeypatch):
+    """Workers that die before their ready line must fail the run loudly."""
+    monkeypatch.setattr(
+        "repro.scenarios.fleet._worker_env",
+        lambda: {"PATH": "/nonexistent", "PYTHONPATH": "/nonexistent"},
+    )
+    with pytest.raises(ValidationError, match="before becoming ready"):
+        run_scenarios([BASE], workers=1, executor="subprocess-fleet")
+
+
+# -- execution context plumbing -----------------------------------------------
+
+
+def test_serial_backend_delegates_to_the_pool_when_a_policy_is_active():
+    calls = []
+
+    def on_complete(index, record, attempt):
+        calls.append(index)
+
+    SerialExecutor().execute(
+        ExecutionContext(
+            spec_list=[BASE.with_overrides(timesteps=3)],
+            indices=[0],
+            workers=1,
+            max_pending=None,
+            policy=PointPolicy(timeout_s=60.0),
+            timed=False,
+            on_complete=on_complete,
+        )
+    )
+    assert calls == [0]
