@@ -269,6 +269,31 @@ def bench_sweep_throughput() -> dict[str, dict]:
                 "points_per_s": len(specs) / elapsed,
             }
             shutil.rmtree(directory)
+        # Data-oriented core throughput: the same 24 points run in-process
+        # (no artifact I/O), with and without the final snapshot trio.  The
+        # snapshot_every=0 row is the per-point cost a million-point grid
+        # actually pays for simulation once snapshots are off the hot path.
+        from repro.harness.experiment import run_experiment as run_one
+
+        start = time.perf_counter()
+        for spec in specs:
+            run_one(spec.validate().compile())
+        elapsed = time.perf_counter() - start
+        rows["core_with_snapshots"] = {
+            "points": len(specs),
+            "wall_s": elapsed,
+            "points_per_s": len(specs) / elapsed,
+        }
+        start = time.perf_counter()
+        for spec in specs:
+            run_one(spec.with_overrides(snapshot_every=0).validate().compile())
+        elapsed = time.perf_counter() - start
+        rows["core_points_per_s"] = {
+            "points": len(specs),
+            "snapshot_every": 0,
+            "wall_s": elapsed,
+            "points_per_s": len(specs) / elapsed,
+        }
         # Resume of a fully recorded directory = pure verify-scan cost.
         start = time.perf_counter()
         result = run_scenarios(specs, resume=tmp / "serial_gzip")

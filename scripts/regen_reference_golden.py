@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Regenerate the reference summary-row golden file.
+
+``tests/golden/reference_summaries.json`` pins ``summary_row()`` outputs for
+a matrix of scenarios spanning every healer family, several adversaries and
+topologies.  The file was first generated with the pre-data-oriented (pure
+NetworkX) simulation core; ``tests/test_harness_reference.py`` replays the
+same specs through the current core and asserts byte-identical rows, which
+is what keeps the struct-of-arrays rewrite honest.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/regen_reference_golden.py
+
+Only regenerate when a summary-row change is *intended* (and say so in the
+commit); an unintended diff here is a behaviour regression, not noise.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.harness.experiment import run_experiment
+from repro.scenarios.spec import ScenarioSpec
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "tests" / "golden" / "reference_summaries.json"
+
+
+def reference_specs() -> list[ScenarioSpec]:
+    """The pinned scenario matrix (small, fast, but crossing every code path)."""
+    specs: list[ScenarioSpec] = []
+
+    def add(**kwargs) -> None:
+        defaults = dict(
+            topology="random-regular",
+            topology_kwargs={"n": 24, "degree": 4},
+            timesteps=30,
+            stretch_sample_pairs=50,
+            seed=11,
+        )
+        defaults.update(kwargs)
+        specs.append(ScenarioSpec(**defaults))
+
+    # Xheal under every adversary family (the hot path the rewrite targets).
+    add(healer="xheal", adversary="random")
+    add(healer="xheal", adversary="deletion-only", timesteps=18)
+    add(healer="xheal", adversary="max-degree", timesteps=16)
+    add(healer="xheal", adversary="min-degree", timesteps=16, seed=5)
+    add(healer="xheal", adversary="star-center", topology="star", topology_kwargs={"n": 20})
+    add(healer="xheal", adversary="cascade", timesteps=20, seed=3)
+    add(healer="xheal", adversary="churn", timesteps=40)
+    add(healer="xheal", adversary="insertion-only", timesteps=25)
+    # Cadenced snapshots + invariant checks ride the same engine cache.
+    add(healer="xheal", adversary="random", metric_every=5, check_invariants_every=10)
+    # Other kappas and topologies.
+    add(healer="xheal", adversary="random", kappa=3, seed=2)
+    add(healer="xheal", adversary="random", topology="erdos-renyi",
+        topology_kwargs={"n": 26, "average_degree": 5.0})
+    add(healer="xheal", adversary="hub-attack", topology="power-law",
+        topology_kwargs={"n": 24, "m": 2}, timesteps=20)
+    add(healer="xheal", adversary="deletion-only", topology="two-cliques",
+        topology_kwargs={"n": 22}, timesteps=14)
+    add(healer="xheal", adversary="random", topology="grid",
+        topology_kwargs={"rows": 5, "cols": 5}, timesteps=24)
+    # Ablations and the distributed protocol share the Xheal edge machinery.
+    add(healer="xheal-always-merge", adversary="random", timesteps=20)
+    add(healer="xheal-clique-clouds", adversary="deletion-only", timesteps=16)
+    add(healer="distributed-xheal", adversary="random", timesteps=16, seed=7)
+    # Baselines exercise the plain SelfHealer event path on the store.
+    add(healer="no-heal", adversary="random")
+    add(healer="line-heal", adversary="deletion-only", timesteps=18)
+    add(healer="cycle-heal", adversary="random", timesteps=24)
+    add(healer="clique-heal", adversary="deletion-only", topology="ring",
+        topology_kwargs={"n": 18}, timesteps=12)
+    add(healer="random-k-heal", adversary="cascade", timesteps=20)
+    add(healer="forgiving-graph", adversary="random", timesteps=24)
+    add(healer="forgiving-tree", adversary="deletion-only", timesteps=16)
+    return specs
+
+
+def main() -> None:
+    entries = []
+    for spec in reference_specs():
+        result = run_experiment(spec.validate().compile())
+        entries.append({"spec": spec.to_dict(), "summary": result.summary_row()})
+        print(f"{spec.label}: {result.summary_row()['nodes']} nodes, "
+              f"theorem2={result.summary_row()['theorem2_holds']}")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(entries, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(entries)} reference rows to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -35,6 +35,12 @@ class GhostGraph:
         if initial_graph is not None:
             self._graph.add_nodes_from(initial_graph.nodes())
             self._graph.add_edges_from(initial_graph.edges())
+        # Ghost degrees are probed once per healed node per timestep by the
+        # degree-ratio tracker; a plain dict keeps that O(1) instead of
+        # building a NetworkX DegreeView per probe.
+        self._degree: dict[NodeId, int] = {
+            node: degree for node, degree in self._graph.degree()
+        }
 
     # -- adversarial events ---------------------------------------------------
 
@@ -57,6 +63,10 @@ class GhostGraph:
         for neighbor in neighbor_list:
             if neighbor != node:
                 self._graph.add_edge(node, neighbor)
+        self._degree[node] = self._graph.degree(node)
+        for neighbor in set(neighbor_list):
+            if neighbor != node:
+                self._degree[neighbor] = self._graph.degree(neighbor)
 
     def record_deletion(self, node: NodeId) -> None:
         """Record that ``node`` was deleted (the ghost graph itself is unchanged).
@@ -99,9 +109,7 @@ class GhostGraph:
 
     def degree(self, node: NodeId) -> int:
         """Return ``degree(node, G'_t)``; 0 if the node was never inserted."""
-        if node not in self._graph:
-            return 0
-        return self._graph.degree(node)
+        return self._degree.get(node, 0)
 
     def deleted_nodes(self) -> set[NodeId]:
         """Return the set of nodes the adversary has deleted so far."""
@@ -130,4 +138,5 @@ class GhostGraph:
         clone._deleted = set(self._deleted)
         clone._version = self._version
         clone._graph_version = self._graph_version
+        clone._degree = dict(self._degree)
         return clone

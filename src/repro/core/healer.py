@@ -21,6 +21,7 @@ from typing import Iterable
 import networkx as nx
 
 from repro.core.colors import BLACK, EdgeColor
+from repro.core.edgestore import EdgeStore
 from repro.core.events import RepairAction, RepairReport
 from repro.util.eventlog import EventKind, EventLog
 from repro.util.graphutils import ensure_simple
@@ -43,9 +44,11 @@ class SelfHealer(ABC):
 
     def __init__(self, seed: int = 0):
         self._rng = SeededRng(seed)
-        self._graph = nx.Graph()
+        self._graph = EdgeStore()
         self._timestep = 0
         self._graph_version = 0
+        self._materialized: nx.Graph | None = None
+        self._materialized_version = -1
         self.event_log = EventLog()
 
     # -- lifecycle ---------------------------------------------------------------
@@ -57,8 +60,11 @@ class SelfHealer(ABC):
         healer never mutates the caller's graph.
         """
         ensure_simple(graph)
-        self._graph = nx.Graph()
-        self._graph.add_nodes_from(graph.nodes())
+        self._graph = EdgeStore()
+        self._materialized = None
+        self._materialized_version = -1
+        for node in graph.nodes():
+            self._graph.add_node(node)
         for u, v in graph.edges():
             self._add_black_edge(u, v)
         self._timestep = 0
@@ -97,8 +103,7 @@ class SelfHealer(ABC):
         require(node in self._graph, f"cannot delete unknown node {node}")
         neighbors = sorted(self._graph.neighbors(node))
         incident_colors: dict[NodeId, EdgeColor] = {
-            neighbor: self._graph.edges[node, neighbor].get("color", BLACK)
-            for neighbor in neighbors
+            neighbor: self._graph.color(node, neighbor) for neighbor in neighbors
         }
         self._graph.remove_node(node)
         report = RepairReport(timestep=self._timestep, deleted_node=node)
@@ -127,7 +132,27 @@ class SelfHealer(ABC):
 
     @property
     def graph(self) -> nx.Graph:
-        """The live healed graph ``G_t`` (do not mutate from outside)."""
+        """An ``nx.Graph`` view of the healed graph ``G_t`` (do not mutate).
+
+        The healer stores the live graph in a struct-of-arrays
+        :class:`~repro.core.edgestore.EdgeStore`; this property lazily
+        materializes a NetworkX snapshot for the metric/snapshot/report code
+        and caches it on :attr:`graph_version`, so repeated reads of an
+        unchanged graph are free.
+        """
+        if self._materialized is None or self._materialized_version != self._graph_version:
+            self._materialized = self._graph.to_networkx()
+            self._materialized_version = self._graph_version
+        return self._materialized
+
+    @property
+    def graph_store(self) -> EdgeStore:
+        """The live struct-of-arrays store backing :attr:`graph`.
+
+        The harness's hot loop (adversary probes, degree tracking, replay
+        membership checks) reads this directly and never pays
+        materialization; treat it as read-only from outside the healer.
+        """
         return self._graph
 
     @property
@@ -157,6 +182,10 @@ class SelfHealer(ABC):
             return 0
         return self._graph.degree(node)
 
+    def has_node(self, node: NodeId) -> bool:
+        """Return whether ``node`` is currently in the healed graph (O(1))."""
+        return node in self._graph
+
     def nodes(self) -> set[NodeId]:
         """Return the current node set of the healed graph."""
         return set(self._graph.nodes())
@@ -167,14 +196,18 @@ class SelfHealer(ABC):
         """Add a black (adversarial/original) edge; returns whether the edge is new."""
         if u == v:
             return False
-        if self._graph.has_edge(u, v):
+        slot = self._graph.edge_slot(u, v)
+        if slot is not None:
             # An adversarial edge between nodes already connected by a healing
             # edge: remember that the pair is also black so the edge survives
-            # any later retirement of the healing cloud.
-            self._graph.edges[u, v]["was_black"] = True
+            # any later retirement of the healing cloud.  Attribute-only
+            # changes never bumped the version counter, so drop the cached
+            # materialization by hand.
+            self._graph.set_slot_was_black(slot, True)
+            self._materialized = None
             return False
         self._bump_graph_version()
-        self._graph.add_edge(u, v, color=BLACK, was_black=True, owners=set())
+        self._graph.add_edge(u, v, color=BLACK, was_black=True)
         return True
 
     def _add_plain_edge(self, u: NodeId, v: NodeId, report: RepairReport) -> bool:
@@ -182,6 +215,6 @@ class SelfHealer(ABC):
         if u == v or self._graph.has_edge(u, v):
             return False
         self._bump_graph_version()
-        self._graph.add_edge(u, v, color=BLACK, was_black=False, owners=set())
+        self._graph.add_edge(u, v, color=BLACK, was_black=False)
         report.edges_added.append((u, v))
         return True

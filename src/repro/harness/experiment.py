@@ -67,6 +67,16 @@ class ExperimentConfig:
         Sampling happens *before* any shortest-path work: only the sampled
         sources are BFS'd, so the per-snapshot cost is O(k * (n + m)) rather
         than all-pairs.
+    snapshot_every:
+        Cadence of *full Theorem-2 snapshots*.  ``None`` (default) keeps the
+        historical behaviour: one full healed/ghost snapshot plus verdict at
+        the end of the run, intermediate cadence governed by ``metric_every``
+        alone.  ``0`` skips the end-of-run snapshot trio entirely — sweep
+        points that only consume counters get ``None`` in the spectral /
+        stretch / verdict columns of ``summary_row()`` and stop paying the
+        dominant per-point cost (the Fiedler solves and cut sweeps).  A
+        positive value records a timeline snapshot every that many timesteps
+        (on top of ``metric_every``) and keeps the final trio.
     """
 
     healer_factory: Callable[[], SelfHealer]
@@ -79,6 +89,7 @@ class ExperimentConfig:
     exact_expansion_limit: int = 22
     stretch_sample_pairs: int | None = 100
     seed: int = 0
+    snapshot_every: int | None = None
 
 
 @dataclass
@@ -92,9 +103,9 @@ class ExperimentResult:
     deletions: int
     final_graph: nx.Graph
     ghost: GhostGraph
-    final_metrics: GraphMetrics
-    ghost_metrics: GraphMetrics
-    final_verdict: Theorem2Verdict
+    final_metrics: GraphMetrics | None
+    ghost_metrics: GraphMetrics | None
+    final_verdict: Theorem2Verdict | None
     timeline: MetricTimeline
     cost_summary: AmortizedCostSummary
     worst_degree_ratio: float
@@ -109,41 +120,65 @@ class ExperimentResult:
         return graph.number_of_nodes() <= 1 or nx.is_connected(graph)
 
     def summary_row(self) -> dict[str, object]:
-        """Return a flat dict suitable for the report printers."""
+        """Return a flat dict suitable for the report printers.
+
+        Runs configured with ``snapshot_every=0`` skip the final metric
+        snapshots; their spectral / stretch / verdict columns are ``None``
+        while the counter columns stay exact.
+        """
+        final, ghost = self.final_metrics, self.ghost_metrics
         return {
             "healer": self.healer_name,
             "adversary": self.adversary_name,
             "steps": self.timesteps_executed,
-            "nodes": self.final_metrics.nodes,
-            "edges": self.final_metrics.edges,
+            "nodes": final.nodes if final is not None else self.final_graph.number_of_nodes(),
+            "edges": final.edges if final is not None else self.final_graph.number_of_edges(),
             "connected": self.connected,
-            "h(Gt)": round(self.final_metrics.edge_expansion, 4),
-            "h(G't)": round(self.ghost_metrics.edge_expansion, 4),
-            "lambda(Gt)": round(self.final_metrics.algebraic_connectivity, 4),
-            "lambda(G't)": round(self.ghost_metrics.algebraic_connectivity, 4),
+            "h(Gt)": round(final.edge_expansion, 4) if final is not None else None,
+            "h(G't)": round(ghost.edge_expansion, 4) if ghost is not None else None,
+            "lambda(Gt)": (
+                round(final.algebraic_connectivity, 4) if final is not None else None
+            ),
+            "lambda(G't)": (
+                round(ghost.algebraic_connectivity, 4) if ghost is not None else None
+            ),
             "max_stretch": (
-                round(self.final_metrics.max_stretch, 3)
-                if self.final_metrics.max_stretch is not None
+                round(final.max_stretch, 3)
+                if final is not None and final.max_stretch is not None
                 else None
             ),
             "max_degree_ratio": round(self.worst_degree_ratio, 3),
             "amortized_msgs": round(self.cost_summary.amortized_messages, 1),
-            "theorem2_holds": self.final_verdict.all_hold,
+            "theorem2_holds": (
+                self.final_verdict.all_hold if self.final_verdict is not None else None
+            ),
         }
 
 
 def _apply_event(
     healer: SelfHealer, ghost: GhostGraph, event: AdversaryEvent
-) -> tuple[int, int]:
-    """Apply one adversarial event to healer and ghost; return (black_degree, messages)."""
+) -> tuple[int, int, int]:
+    """Apply one event to healer and ghost; return (black_degree, messages, rounds)."""
     if event.is_insertion:
         ghost.record_insertion(event.node, event.neighbors)
         healer.handle_insertion(event.node, event.neighbors)
-        return (0, 0)
+        return (0, 0, 0)
     black_degree = ghost.degree(event.node)
     ghost.record_deletion(event.node)
     report = healer.handle_deletion(event.node)
-    return (black_degree, report.messages if report.messages else report.total_edge_changes)
+    messages = report.messages if report.messages else report.total_edge_changes
+    return (black_degree, messages, report.rounds)
+
+
+def _live_view(healer: SelfHealer):
+    """Return the cheapest live-graph view of ``healer`` the hot loop can use.
+
+    Store-backed healers expose their :class:`~repro.core.edgestore.EdgeStore`,
+    which speaks the graph dialect adversaries consume — probing it costs no
+    materialization.  Healers without a store (external plugins) fall back to
+    the ``nx.Graph`` property.
+    """
+    return getattr(healer, "graph_store", None) or healer.graph
 
 
 def _ghost_full_snapshot(
@@ -216,8 +251,14 @@ def run_experiment(
     deletions = 0
     executed = 0
 
+    live = _live_view(healer)
+    fast_tracker = live is not healer.graph
+    if fast_tracker:
+        degree_tracker.attach_store(live, ghost)
+    snapshot_cadence = config.snapshot_every if config.snapshot_every else 0
+
     for timestep in range(1, config.timesteps + 1):
-        event = adversary.next_event(healer.graph, timestep)
+        event = adversary.next_event(live, timestep)
         if event is None:
             break
         trace.append(event)
@@ -227,19 +268,25 @@ def run_experiment(
         else:
             deletions += 1
 
-        black_degree, messages = _apply_event(healer, ghost, event)
+        black_degree, messages, rounds = _apply_event(healer, ghost, event)
         if event.is_deletion:
-            rounds = 0
             ledger.record_deletion(
                 deleted=event.node,
                 black_degree=black_degree,
                 messages=messages,
                 rounds=rounds,
-                network_size=healer.graph.number_of_nodes(),
+                network_size=live.number_of_nodes(),
             )
-        worst_ratio = degree_tracker.observe(healer.graph, ghost)
+        if fast_tracker:
+            if event.is_insertion:
+                degree_tracker.record_insertion(event.node, event.neighbors)
+            worst_ratio = degree_tracker.observe_store()
+        else:
+            worst_ratio = degree_tracker.observe(healer.graph, ghost)
 
-        if config.metric_every and timestep % config.metric_every == 0:
+        due = config.metric_every and timestep % config.metric_every == 0
+        due = due or (snapshot_cadence and timestep % snapshot_cadence == 0)
+        if due:
             timeline.record(
                 timestep, healer.graph, ghost, worst_ratio, healed_version=healer.graph_version
             )
@@ -253,21 +300,25 @@ def run_experiment(
                 )
             )
 
-    ghost_alive = ghost.alive_subgraph()
-    final_metrics = engine.snapshot(
-        healer.graph,
-        ghost=ghost_alive,
-        version=healer.graph_version,
-        ghost_version=ghost.version,
-        label="healed",
-    )
-    ghost_metrics = _ghost_full_snapshot(engine, ghost, ghost_engine)
-    final_verdict = engine.check_theorem2(
-        healer.graph,
-        ghost,
-        kappa=config.kappa,
-        healed_version=healer.graph_version,
-    )
+    if config.snapshot_every == 0:
+        final_metrics = ghost_metrics = None
+        final_verdict = None
+    else:
+        ghost_alive = ghost.alive_subgraph()
+        final_metrics = engine.snapshot(
+            healer.graph,
+            ghost=ghost_alive,
+            version=healer.graph_version,
+            ghost_version=ghost.version,
+            label="healed",
+        )
+        ghost_metrics = _ghost_full_snapshot(engine, ghost, ghost_engine)
+        final_verdict = engine.check_theorem2(
+            healer.graph,
+            ghost,
+            kappa=config.kappa,
+            healed_version=healer.graph_version,
+        )
 
     return ExperimentResult(
         healer_name=healer.name,
@@ -299,6 +350,7 @@ def run_healer_on_trace(
     seed: int = 0,
     adversary_name: str = "trace",
     ghost_engine: MetricsEngine | None = None,
+    snapshot_every: int | None = None,
 ) -> ExperimentResult:
     """Replay a fixed adversarial trace against ``healer`` (for fair comparisons).
 
@@ -314,7 +366,9 @@ def run_healer_on_trace(
     the original adversary name so the replayed row matches byte for byte).
     ``ghost_engine`` optionally shares the full-ghost metric cache across
     healers replaying the same trace (see
-    :func:`repro.harness.sweeps.compare_healers`).
+    :func:`repro.harness.sweeps.compare_healers`).  ``snapshot_every``
+    mirrors :attr:`ExperimentConfig.snapshot_every` so replays of
+    snapshot-skipping runs reproduce their rows exactly.
     """
     healer.initialize(initial_graph)
     ghost = GhostGraph(initial_graph)
@@ -334,20 +388,31 @@ def run_healer_on_trace(
     deletions = 0
     executed = 0
 
+    live = _live_view(healer)
+    fast_tracker = live is not healer.graph
+    if fast_tracker:
+        degree_tracker.attach_store(live, ghost)
+
     for event in trace:
-        if event.is_deletion and event.node not in healer.graph:
+        if event.is_deletion and event.node not in live:
             continue
-        if event.is_insertion and event.node in healer.graph:
+        if event.is_insertion and event.node in live:
             continue
-        executed += 1
         if event.is_insertion:
-            insertions += 1
-            neighbors = tuple(node for node in event.neighbors if node in healer.graph)
+            neighbors = tuple(node for node in event.neighbors if node in live)
             if not neighbors:
+                # All anchors are gone: the event cannot be applied, so it
+                # must not count as executed either (it would inflate the
+                # summary row's step counters relative to the work done).
                 continue
+            executed += 1
+            insertions += 1
             ghost.record_insertion(event.node, neighbors)
             healer.handle_insertion(event.node, neighbors)
+            if fast_tracker:
+                degree_tracker.record_insertion(event.node, neighbors)
         else:
+            executed += 1
             deletions += 1
             black_degree = ghost.degree(event.node)
             ghost.record_deletion(event.node)
@@ -357,22 +422,29 @@ def run_healer_on_trace(
                 black_degree=black_degree,
                 messages=report.messages if report.messages else report.total_edge_changes,
                 rounds=report.rounds,
-                network_size=healer.graph.number_of_nodes(),
+                network_size=live.number_of_nodes(),
             )
-        degree_tracker.observe(healer.graph, ghost)
+        if fast_tracker:
+            degree_tracker.observe_store()
+        else:
+            degree_tracker.observe(healer.graph, ghost)
 
-    ghost_alive = ghost.alive_subgraph()
-    final_metrics = engine.snapshot(
-        healer.graph,
-        ghost=ghost_alive,
-        version=healer.graph_version,
-        ghost_version=ghost.version,
-        label="healed",
-    )
-    ghost_metrics = _ghost_full_snapshot(engine, ghost, ghost_engine)
-    final_verdict = engine.check_theorem2(
-        healer.graph, ghost, kappa=kappa, healed_version=healer.graph_version
-    )
+    if snapshot_every == 0:
+        final_metrics = ghost_metrics = None
+        final_verdict = None
+    else:
+        ghost_alive = ghost.alive_subgraph()
+        final_metrics = engine.snapshot(
+            healer.graph,
+            ghost=ghost_alive,
+            version=healer.graph_version,
+            ghost_version=ghost.version,
+            label="healed",
+        )
+        ghost_metrics = _ghost_full_snapshot(engine, ghost, ghost_engine)
+        final_verdict = engine.check_theorem2(
+            healer.graph, ghost, kappa=kappa, healed_version=healer.graph_version
+        )
     return ExperimentResult(
         healer_name=healer.name,
         adversary_name=adversary_name,

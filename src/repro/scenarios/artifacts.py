@@ -229,5 +229,6 @@ def replay_artifact(path: str | Path) -> ReplayReport:
         stretch_sample_pairs=spec.stretch_sample_pairs,
         seed=spec.seed,
         adversary_name=str(record.summary.get("adversary", "trace")),
+        snapshot_every=spec.snapshot_every,
     )
     return ReplayReport(record=record, result=result, replayed_summary=dict(result.summary_row()))

@@ -101,9 +101,14 @@ class ScenarioSpec:
         ``"<healer>@<topology>/<adversary>"``); sweep expansion appends the
         axis assignment.
     timesteps / metric_every / kappa / check_invariants_every /
-    exact_expansion_limit / stretch_sample_pairs / seed:
+    exact_expansion_limit / stretch_sample_pairs / seed / snapshot_every:
         Run parameters, mirrored onto
         :class:`~repro.harness.experiment.ExperimentConfig` verbatim.
+        ``snapshot_every`` is ``None`` by default (final Theorem-2 snapshot
+        always taken); ``0`` opts a sweep point out of full snapshots
+        entirely — the big per-point cost when nobody reads the spectral
+        columns.  The default is omitted from :meth:`to_dict`, so the
+        fingerprints of every pre-existing spec are unchanged.
     """
 
     healer: str
@@ -120,6 +125,7 @@ class ScenarioSpec:
     exact_expansion_limit: int = 22
     stretch_sample_pairs: int | None = 100
     seed: int = 0
+    snapshot_every: int | None = None
 
     # -- identity -------------------------------------------------------------
 
@@ -167,13 +173,26 @@ class ScenarioSpec:
             self.stretch_sample_pairs is None or self.stretch_sample_pairs >= 1,
             "stretch_sample_pairs must be None or at least 1",
         )
+        require(
+            self.snapshot_every is None or self.snapshot_every >= 0,
+            "snapshot_every must be None or non-negative",
+        )
         return self
 
     # -- serialization --------------------------------------------------------
 
     def to_dict(self) -> dict:
-        """Return the spec as a plain dict (every field, stable schema)."""
-        return asdict(self)
+        """Return the spec as a plain dict (stable schema).
+
+        ``snapshot_every`` is omitted while at its default (``None``): the
+        field post-dates the artifact/fingerprint format, and omission keeps
+        every previously recorded spec fingerprinting identically — resumable
+        sweep directories stay resumable across the upgrade.
+        """
+        data = asdict(self)
+        if data.get("snapshot_every") is None:
+            del data["snapshot_every"]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioSpec":
@@ -265,6 +284,7 @@ class ScenarioSpec:
             exact_expansion_limit=self.exact_expansion_limit,
             stretch_sample_pairs=self.stretch_sample_pairs,
             seed=self.seed,
+            snapshot_every=self.snapshot_every,
         )
 
     def run(self):

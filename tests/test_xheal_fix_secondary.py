@@ -1,0 +1,127 @@
+"""Unit tests for ``Xheal._fix_secondary`` (Algorithm 3.5) branch by branch.
+
+Two historically buggy spots are pinned here:
+
+* the early return when the secondary cloud has already dissolved must hand
+  back the bridged primary only when it is genuinely alive, and
+* the association of the replacement bridge must be the bridged primary when
+  that cloud is alive, falling back to the cloud the free node came from —
+  which triggers the node-sharing path when the two differ.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.events import RepairReport
+from repro.core.xheal import Xheal
+
+
+@pytest.fixture
+def healer():
+    instance = Xheal(kappa=2, seed=0)
+    instance.initialize(nx.complete_graph(10))
+    return instance
+
+
+def _two_primaries_and_secondary(healer):
+    registry = healer.registry
+    p1 = registry.new_primary_cloud({0, 1, 2})
+    p2 = registry.new_primary_cloud({3, 4, 5})
+    secondary = registry.new_secondary_cloud({p1.cloud_id: 0, p2.cloud_id: 3})
+    return p1, p2, secondary
+
+
+class TestEarlyReturnWhenSecondaryDissolved:
+    def test_live_bridged_primary_is_returned(self, healer):
+        p1, _, _ = _two_primaries_and_secondary(healer)
+        report = RepairReport(timestep=1)
+        assert healer._fix_secondary(9999, p1.cloud_id, report) == p1.cloud_id
+
+    def test_none_bridged_primary_returns_none(self, healer):
+        _two_primaries_and_secondary(healer)
+        report = RepairReport(timestep=1)
+        assert healer._fix_secondary(9999, None, report) is None
+
+    def test_dead_bridged_primary_returns_none(self, healer):
+        registry = healer.registry
+        dead = registry.new_primary_cloud({6, 7})
+        registry.dissolve(dead.cloud_id)
+        report = RepairReport(timestep=1)
+        assert healer._fix_secondary(9999, dead.cloud_id, report) is None
+
+    def test_early_return_does_no_repair_work(self, healer):
+        p1, _, _ = _two_primaries_and_secondary(healer)
+        report = RepairReport(timestep=1)
+        healer._fix_secondary(9999, p1.cloud_id, report)
+        assert report.clouds_repaired == []
+        assert report.clouds_merged == []
+        assert report.free_nodes_shared == []
+
+
+class TestAssociationOfReplacementBridge:
+    def test_live_bridged_primary_with_free_node_is_the_association(self, healer):
+        p1, p2, secondary = _two_primaries_and_secondary(healer)
+        report = RepairReport(timestep=1)
+        anchor = healer._fix_secondary(secondary.cloud_id, p1.cloud_id, report)
+        assert anchor == p1.cloud_id
+        # Replacement came from p1 itself, so no sharing was needed.
+        assert report.free_nodes_shared == []
+        assert secondary.bridge_of[p1.cloud_id] == 1  # smallest free member of p1
+        assert 1 in secondary.members
+        assert report.clouds_repaired == [secondary.cloud_id]
+
+    def test_none_bridged_primary_falls_back_to_source_cloud(self, healer):
+        p1, p2, secondary = _two_primaries_and_secondary(healer)
+        report = RepairReport(timestep=1)
+        anchor = healer._fix_secondary(secondary.cloud_id, None, report)
+        # Candidates are scanned in sorted bridge_of order, so the free node
+        # comes from p1 and p1 becomes the association.
+        assert anchor == p1.cloud_id
+        assert report.free_nodes_shared == []
+        assert secondary.bridge_of[p1.cloud_id] == 1
+
+    def test_dead_bridged_primary_falls_back_to_source_cloud(self, healer):
+        p1, p2, secondary = _two_primaries_and_secondary(healer)
+        registry = healer.registry
+        dead = registry.new_primary_cloud({6, 7})
+        registry.dissolve(dead.cloud_id)
+        report = RepairReport(timestep=1)
+        anchor = healer._fix_secondary(secondary.cloud_id, dead.cloud_id, report)
+        assert anchor == p1.cloud_id
+        assert report.free_nodes_shared == []
+
+    def test_sharing_when_bridged_primary_has_no_free_node(self, healer):
+        p1, p2, secondary = _two_primaries_and_secondary(healer)
+        registry = healer.registry
+        # Exhaust p2's free nodes: 3 already bridges `secondary`; 4 and 5 take
+        # bridge duty in fresh secondary clouds of their own.
+        registry.new_secondary_cloud({p2.cloud_id: 4})
+        registry.new_secondary_cloud({p2.cloud_id: 5})
+        assert registry.free_members(p2.cloud_id) == []
+
+        report = RepairReport(timestep=1)
+        anchor = healer._fix_secondary(secondary.cloud_id, p2.cloud_id, report)
+        # The free node comes from p1 but the association stays the (live)
+        # bridged primary p2: the node is shared into p2 and bridges for it.
+        assert anchor == p2.cloud_id
+        assert report.free_nodes_shared == [1]
+        assert 1 in registry.get(p2.cloud_id).members
+        assert secondary.bridge_of[p2.cloud_id] == 1
+        assert report.clouds_repaired == [secondary.cloud_id]
+
+    def test_no_free_node_anywhere_merges_primaries(self, healer):
+        registry = healer.registry
+        p1 = registry.new_primary_cloud({0, 1})
+        p2 = registry.new_primary_cloud({2, 3})
+        secondary = registry.new_secondary_cloud({p1.cloud_id: 0, p2.cloud_id: 2})
+        registry.new_secondary_cloud({p1.cloud_id: 1})
+        registry.new_secondary_cloud({p2.cloud_id: 3})
+        report = RepairReport(timestep=1)
+        anchor = healer._fix_secondary(secondary.cloud_id, p1.cloud_id, report)
+        assert secondary.cloud_id not in registry
+        assert anchor is not None and anchor in registry
+        merged = registry.get(anchor)
+        assert merged.members >= {0, 1, 2, 3}
+        assert p1.cloud_id in report.clouds_merged or secondary.cloud_id in report.clouds_merged
