@@ -3,7 +3,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-xheal",
-    version="1.4.0",
+    version="1.5.0",
     description=(
         "Reproduction of 'Xheal: Localized Self-healing using Expanders' "
         "(Pandurangan & Trehan, PODC 2011) with a declarative scenario API"
@@ -29,6 +29,8 @@ setup(
             "builtin-baselines=repro.baselines",
             "builtin-distributed=repro.distributed.protocol",
             "builtin-adversaries=repro.adversary.strategies",
+            "builtin-correlated=repro.adversary.correlated",
+            "builtin-budgeted=repro.core.budget",
             "builtin-topologies=repro.harness.workloads",
         ],
         "repro.healers": [

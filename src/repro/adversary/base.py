@@ -11,8 +11,9 @@ structurally: adversaries receive only the graphs, never the healer object.
 from __future__ import annotations
 
 import enum
-from abc import ABC, abstractmethod
+from abc import ABC
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import networkx as nx
 
@@ -53,9 +54,11 @@ class AdversaryEvent:
 class Adversary(ABC):
     """Base class for adversary strategies.
 
-    Subclasses implement :meth:`next_event`; the shared machinery provides a
-    seeded random stream and an :class:`~repro.util.ids.IdAllocator` so that
-    inserted node ids never collide with existing ones.
+    Subclasses implement :meth:`next_event` (one move per timestep) or, for
+    correlated failures, :meth:`next_events` (a batch applied atomically
+    within one timestep); the shared machinery provides a seeded random
+    stream and an :class:`~repro.util.ids.IdAllocator` so that inserted node
+    ids never collide with existing ones.
     """
 
     name: str = "abstract"
@@ -73,14 +76,34 @@ class Adversary(ABC):
             raise RuntimeError("adversary used before bind() was called")
         return self._allocator.allocate()
 
-    @abstractmethod
     def next_event(self, graph: nx.Graph, timestep: int) -> AdversaryEvent | None:
         """Return the adversary's move given the current healed graph ``G_t``.
 
         Returning ``None`` means the adversary has nothing left to do (for
         example, a deletion-only adversary facing a too-small graph); the
         experiment harness stops the run early in that case.
+
+        Single-move adversaries override this; batched adversaries override
+        :meth:`next_events` instead, in which case this method is unused.
         """
+        raise NotImplementedError(
+            f"{type(self).__name__} implements neither next_event nor next_events"
+        )
+
+    def next_events(self, graph: nx.Graph, timestep: int) -> tuple[AdversaryEvent, ...] | None:
+        """Return the adversary's moves for one timestep, as an atomic batch.
+
+        The harness applies the whole batch within a single timestep (one
+        metric observation cadence), or none of it: a batch that fails
+        validation aborts the run before any member event is applied.  The
+        default wraps :meth:`next_event`, so single-move adversaries get
+        batches of one for free.  Returning ``None`` — or an empty batch —
+        stops the run early.
+        """
+        event = self.next_event(graph, timestep)
+        if event is None:
+            return None
+        return (event,)
 
     # -- helpers shared by concrete strategies --------------------------------
 
@@ -99,3 +122,27 @@ class Adversary(ABC):
         if graph.number_of_nodes() <= minimum_remaining:
             return []
         return sorted(graph.nodes())
+
+    @staticmethod
+    def _batched_deletions(
+        graph: nx.Graph, targets: Iterable[NodeId], minimum_remaining: int
+    ) -> tuple[AdversaryEvent, ...]:
+        """Turn ``targets`` into an atomically-guarded batch of deletions.
+
+        A correlated kill must never half-apply: if deleting every target
+        would shrink the graph below ``minimum_remaining`` nodes, the batch is
+        truncated *up front* — the first ``n - minimum_remaining`` targets in
+        order — so the harness either applies the whole (possibly shortened)
+        batch or, when no deletion is affordable, receives an empty tuple.
+        Targets not currently in the graph are skipped.
+        """
+        allowance = graph.number_of_nodes() - minimum_remaining
+        if allowance <= 0:
+            return ()
+        events: list[AdversaryEvent] = []
+        for node in targets:
+            if len(events) >= allowance:
+                break
+            if node in graph:
+                events.append(AdversaryEvent(EventType.DELETE, node))
+        return tuple(events)

@@ -1,0 +1,215 @@
+"""Budget-limited healing: a reconfiguration-budget wrapper over any healer.
+
+Optical circuit switches and patch-panel fabrics (InfiniteHBD, PAPERS.md)
+cannot rewire arbitrarily fast: only a bounded number of edge swaps can be
+executed per step.  :class:`BudgetedHealer` models that constraint around any
+registered healer — the *inner* healer plans repairs on its own unconstrained
+copy of the network, while the wrapper owns the *deployed* graph and applies
+the planned edge changes at most ``budget`` per adversarial event, deferring
+the rest to a FIFO queue drained on later events.
+
+The gap between plan and deployment is the interesting signal, surfaced as
+extra summary columns (:meth:`BudgetedHealer.extra_summary`):
+
+* ``deferred_repairs`` — planned edge changes that missed their own step;
+* ``budget_stalls`` — events that ended with a non-empty repair queue;
+* ``pending_repairs`` — queue length when the run ended (unrepaired debt);
+* ``time_to_recover`` — the longest backlog episode, in events, from the
+  first deferral to the step the queue drained empty again (a whole-rack
+  kill typically opens one long episode).
+
+Everything is deterministic: the inner healer sees exactly the adversarial
+event stream (its plan never depends on the wrapper's drain state), so a
+replayed trace reproduces both graphs and every column bit for bit.
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections import deque
+
+import networkx as nx
+
+from repro.core.colors import EdgeColor
+from repro.core.events import RepairAction, RepairReport
+from repro.core.healer import SelfHealer
+from repro.scenarios.registry import HEALERS, register_healer
+from repro.util.ids import NodeId
+from repro.util.rng import derive_seed
+from repro.util.validation import require
+
+#: Queue-entry op kinds.
+_ADD = "add"
+_REMOVE = "remove"
+
+
+def _accepts(component, name: str) -> bool:
+    try:
+        return name in inspect.signature(component).parameters
+    except (TypeError, ValueError):
+        return False
+
+
+@register_healer("budgeted")
+class BudgetedHealer(SelfHealer):
+    """Apply at most ``budget`` planned edge changes per event; defer the rest.
+
+    ``inner`` names any registered healer (default ``xheal``); it receives
+    ``inner_kwargs`` plus a derived seed and the spec's kappa when it accepts
+    them.  Adversarial events (node insertions/deletions and their black
+    edges) are applied to the deployed graph immediately — the adversary is
+    not budget-limited, only the healer's rewiring is.
+    """
+
+    name = "budgeted"
+
+    def __init__(
+        self,
+        inner: str = "xheal",
+        budget: int = 4,
+        inner_kwargs: dict | None = None,
+        kappa: int | None = None,
+        seed: int = 0,
+    ):
+        require(budget >= 1, "budget must be at least 1")
+        super().__init__(seed=seed)
+        self.budget = budget
+        inner_cls = HEALERS.get(inner)
+        kwargs = dict(inner_kwargs or {})
+        if "seed" not in kwargs and _accepts(inner_cls, "seed"):
+            kwargs["seed"] = derive_seed(seed, "budgeted-inner")
+        if kappa is not None and "kappa" not in kwargs and _accepts(inner_cls, "kappa"):
+            kwargs["kappa"] = kappa
+        self._inner: SelfHealer = inner_cls(**kwargs)
+        self.name = f"budgeted({self._inner.name},b={budget})"
+        self._reset_queue_state()
+
+    def _reset_queue_state(self) -> None:
+        # Queue entries are (opid, kind, edge, step); ``_pending`` maps an
+        # edge to its single live (kind, opid) — an add annihilates a pending
+        # remove of the same edge and vice versa, so stale queue entries
+        # whose (kind, opid) no longer matches are tombstones, skipped
+        # without budget charge on drain.
+        self._queue: deque[tuple[int, str, tuple[NodeId, NodeId], int]] = deque()
+        self._pending: dict[tuple[NodeId, NodeId], tuple[str, int]] = {}
+        self._next_opid = 0
+        self.deferred_repairs = 0
+        self.budget_stalls = 0
+        self.time_to_recover = 0
+        self._episode_start: int | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def initialize(self, graph: nx.Graph) -> None:
+        super().initialize(graph)
+        self._inner.initialize(graph)
+        self._reset_queue_state()
+
+    # -- adversarial events ----------------------------------------------------
+
+    def _after_insertion(
+        self, node: NodeId, neighbors: list[NodeId], report: RepairReport
+    ) -> None:
+        self._inner.handle_insertion(node, neighbors)
+        self._drain(report)
+        self._close_step()
+
+    def _heal_after_deletion(
+        self,
+        deleted: NodeId,
+        neighbors: list[NodeId],
+        incident_colors: dict[NodeId, EdgeColor],
+        report: RepairReport,
+    ) -> None:
+        inner_report = self._inner.handle_deletion(deleted)
+        report.note_action(RepairAction.BASELINE)
+        # Cost accounting charges the *planned* repair (the messages the
+        # healing protocol exchanges), not the switch actuations.
+        report.messages = inner_report.messages
+        report.rounds = inner_report.rounds
+        for u, v in inner_report.edges_added:
+            self._enqueue(_ADD, u, v)
+        for u, v in inner_report.edges_removed:
+            self._enqueue(_REMOVE, u, v)
+        self._drain(report)
+        self._close_step()
+
+    # -- the repair queue ------------------------------------------------------
+
+    def _enqueue(self, kind: str, u: NodeId, v: NodeId) -> None:
+        edge = (u, v) if u <= v else (v, u)
+        live = self._pending.get(edge)
+        if live is not None:
+            if live[0] == kind:
+                return  # identical op already queued
+            # Opposite op pending: the two annihilate — the deployed graph
+            # never needed either change.
+            del self._pending[edge]
+            return
+        opid = self._next_opid
+        self._next_opid += 1
+        self._pending[edge] = (kind, opid)
+        self._queue.append((opid, kind, edge, self._timestep))
+
+    def _drain(self, report: RepairReport) -> None:
+        """Apply queued ops FIFO, spending at most ``budget`` actuations."""
+        remaining = self.budget
+        while remaining > 0 and self._queue:
+            opid, kind, edge, _step = self._queue.popleft()
+            if self._pending.get(edge) != (kind, opid):
+                continue  # tombstone (annihilated or superseded): free
+            del self._pending[edge]
+            u, v = edge
+            if kind == _ADD:
+                if u not in self._graph or v not in self._graph:
+                    continue  # endpoint died while the op waited: free drop
+                if self._add_plain_edge(u, v, report):
+                    remaining -= 1
+            else:
+                if not self._graph.has_edge(u, v):
+                    continue  # already gone (e.g. its endpoint was deleted)
+                self._bump_graph_version()
+                self._graph.remove_edge(u, v)
+                report.edges_removed.append((u, v))
+                remaining -= 1
+
+    def _pending_entries(self) -> list[tuple[int, str, tuple[NodeId, NodeId], int]]:
+        return [
+            entry for entry in self._queue if self._pending.get(entry[2]) == (entry[1], entry[0])
+        ]
+
+    def _close_step(self) -> None:
+        """Account this event's backlog after the drain ran."""
+        live = self._pending_entries()
+        step = self._timestep
+        self.deferred_repairs += sum(1 for entry in live if entry[3] == step)
+        if live:
+            self.budget_stalls += 1
+            if self._episode_start is None:
+                self._episode_start = step
+            # An episode still open at the end of the run is measured to the
+            # last event seen, so keep the running maximum current.
+            self.time_to_recover = max(self.time_to_recover, step - self._episode_start + 1)
+        elif self._episode_start is not None:
+            self.time_to_recover = max(self.time_to_recover, step - self._episode_start + 1)
+            self._episode_start = None
+
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def pending_repairs(self) -> int:
+        """Planned edge changes still waiting for switch budget."""
+        return len(self._pending_entries())
+
+    @property
+    def inner_healer(self) -> SelfHealer:
+        """The wrapped healer (plans on its own unconstrained graph)."""
+        return self._inner
+
+    def extra_summary(self) -> dict:
+        return {
+            "deferred_repairs": self.deferred_repairs,
+            "budget_stalls": self.budget_stalls,
+            "pending_repairs": self.pending_repairs,
+            "time_to_recover": self.time_to_recover,
+        }

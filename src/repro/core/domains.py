@@ -1,0 +1,71 @@
+"""Failure-domain annotations: nodes grouped into racks / pods.
+
+Real deployments do not lose nodes one at a time: a power feed, a top-of-rack
+switch or a CXL memory pod takes a whole *failure domain* dark at once.  The
+domain layer models that as plain node metadata — every node may carry a
+``domain`` attribute (a string such as ``"rack03"``) — so the annotation
+
+* is emitted by the datacenter topology generators
+  (:func:`repro.harness.workloads.racked_clos_workload`,
+  :func:`repro.harness.workloads.pod_mesh_workload`),
+* survives the healer's :class:`~repro.core.edgestore.EdgeStore`
+  round-trip (``initialize`` copies node attributes into the store,
+  ``to_networkx`` re-emits them), and
+* is readable by adversaries through the same graph dialect the hot loop
+  uses (an :class:`~repro.core.edgestore.EdgeStore` or an ``nx.Graph``),
+  which is what lets the ``domain-kill`` adversary target a whole rack
+  without the harness materializing anything.
+
+Nodes without a ``domain`` attribute (for example nodes the adversary
+inserted mid-run) belong to no failure domain and are never the target of a
+domain kill.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.util.ids import NodeId
+
+#: The node-attribute key the whole pack agrees on.
+DOMAIN_KEY = "domain"
+
+
+def _node_data(graph, node) -> Mapping:
+    """Return ``node``'s attribute mapping on an ``nx.Graph`` or an EdgeStore."""
+    getter = getattr(graph, "node_data", None)
+    if getter is not None:  # EdgeStore dialect
+        return getter(node)
+    return graph.nodes[node]
+
+
+def node_domain(graph, node: NodeId) -> str | None:
+    """Return the failure domain of ``node``, or ``None`` when unassigned."""
+    return _node_data(graph, node).get(DOMAIN_KEY)
+
+
+def assign_domain(graph, nodes: Iterable[NodeId], domain: str) -> None:
+    """Label every node in ``nodes`` as belonging to ``domain`` (nx graphs)."""
+    for node in nodes:
+        graph.nodes[node][DOMAIN_KEY] = domain
+
+
+def domain_members(graph) -> dict[str, list[NodeId]]:
+    """Return ``domain -> sorted member nodes`` over the graph's labelled nodes.
+
+    Only nodes currently in the graph count (a killed rack's members drop out
+    as they are deleted), and unlabelled nodes are omitted entirely.  Domains
+    are returned in sorted-name order so every consumer — the ``domain-kill``
+    adversary's selection, tests, reports — sees one deterministic view.
+    """
+    members: dict[str, list[NodeId]] = {}
+    for node in graph.nodes():
+        domain = node_domain(graph, node)
+        if domain is not None:
+            members.setdefault(domain, []).append(node)
+    return {domain: sorted(members[domain]) for domain in sorted(members)}
+
+
+def list_domains(graph) -> list[str]:
+    """Return the sorted names of the graph's non-empty failure domains."""
+    return sorted(domain_members(graph))

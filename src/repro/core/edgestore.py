@@ -74,6 +74,7 @@ class EdgeStore:
     __slots__ = (
         "_adj",
         "_node_slot",
+        "_node_meta",
         "_node_ids",
         "_node_alive",
         "_deg",
@@ -95,6 +96,7 @@ class EdgeStore:
         self._adj: dict[NodeId, dict[NodeId, int]] = {}
         # -- node columns (slots are append-only; see module docstring) ------
         self._node_slot: dict[NodeId, int] = {}
+        self._node_meta: dict[NodeId, dict] = {}
         self._node_ids = np.zeros(16, dtype=np.int64)
         self._node_alive = np.zeros(16, dtype=bool)
         self._deg = np.zeros(16, dtype=np.int64)
@@ -133,6 +135,7 @@ class EdgeStore:
         """Remove ``node`` and every incident edge."""
         neighbors = self._adj.pop(node)
         node_slot = self._node_slot.pop(node)
+        self._node_meta.pop(node, None)
         for other, slot in neighbors.items():
             del self._adj[other][node]
             self._deg[self._node_slot[other]] -= 1
@@ -171,6 +174,31 @@ class EdgeStore:
 
     def number_of_nodes(self) -> int:
         return len(self._adj)
+
+    # ----------------------------------------------------------- node metadata
+
+    _EMPTY_META: dict = {}
+
+    def set_node_data(self, node: NodeId, data: dict) -> None:
+        """Attach an attribute dict to ``node`` (e.g. its failure domain).
+
+        Metadata is pure annotation: it never influences adjacency, degree or
+        the packed edge columns, and an empty ``data`` clears the entry so
+        unannotated stores keep the zero-cost fast path in
+        :meth:`to_networkx`.
+        """
+        if node not in self._adj:
+            raise KeyError(node)
+        if data:
+            self._node_meta[node] = dict(data)
+        else:
+            self._node_meta.pop(node, None)
+
+    def node_data(self, node: NodeId) -> dict:
+        """Return ``node``'s attribute dict ({} when unannotated; don't mutate)."""
+        if node not in self._adj:
+            raise KeyError(node)
+        return self._node_meta.get(node, self._EMPTY_META)
 
     def number_of_edges(self) -> int:
         return self._edge_count
@@ -391,7 +419,13 @@ class EdgeStore:
         the store.
         """
         graph = nx.Graph()
-        graph.add_nodes_from(self._adj)
+        if self._node_meta:
+            meta = self._node_meta
+            graph.add_nodes_from(
+                (node, meta[node]) if node in meta else node for node in self._adj
+            )
+        else:
+            graph.add_nodes_from(self._adj)
         ekind = self._ekind
         etag = self._etag
         ewas_black = self._ewas_black

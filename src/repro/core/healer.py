@@ -57,14 +57,18 @@ class SelfHealer(ABC):
         """Adopt ``graph`` as the initial network ``G_0``.
 
         All initial edges are coloured black.  The input graph is copied; the
-        healer never mutates the caller's graph.
+        healer never mutates the caller's graph.  Node attributes (e.g. the
+        failure-domain labels of :mod:`repro.core.domains`) are copied into
+        the store so they survive the EdgeStore round-trip.
         """
         ensure_simple(graph)
         self._graph = EdgeStore()
         self._materialized = None
         self._materialized_version = -1
-        for node in graph.nodes():
+        for node, data in graph.nodes(data=True):
             self._graph.add_node(node)
+            if data:
+                self._graph.set_node_data(node, data)
         for u, v in graph.edges():
             self._add_black_edge(u, v)
         self._timestep = 0
@@ -159,6 +163,17 @@ class SelfHealer(ABC):
     def timestep(self) -> int:
         """The number of adversarial events processed so far."""
         return self._timestep
+
+    def extra_summary(self) -> dict:
+        """Extra healer-specific summary columns merged into the run's summary row.
+
+        The base healer contributes nothing; wrappers such as
+        :class:`repro.core.budget.BudgetedHealer` override this to surface
+        metrics (deferred repairs, budget stalls, recovery time) that only
+        the healer itself can observe.  Keys must not collide with the
+        harness's own summary columns, and values must be JSON-serializable.
+        """
+        return {}
 
     @property
     def graph_version(self) -> int:

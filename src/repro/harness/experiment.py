@@ -112,6 +112,11 @@ class ExperimentResult:
     trace: list[AdversaryEvent] = field(default_factory=list)
     intermediate_verdicts: list[Theorem2Verdict] = field(default_factory=list)
     cache_stats: dict[str, int] = field(default_factory=dict)
+    healer_extra: dict[str, object] = field(default_factory=dict)
+    #: Parallel to ``trace``: the 1-based timestep each event belonged to.
+    #: Batched adversaries put several events in one timestep; the churn-trace
+    #: exporter uses this to preserve the grouping.  Empty for flat replays.
+    event_steps: list[int] = field(default_factory=list)
 
     @property
     def connected(self) -> bool:
@@ -127,7 +132,7 @@ class ExperimentResult:
         while the counter columns stay exact.
         """
         final, ghost = self.final_metrics, self.ghost_metrics
-        return {
+        row: dict[str, object] = {
             "healer": self.healer_name,
             "adversary": self.adversary_name,
             "steps": self.timesteps_executed,
@@ -153,6 +158,11 @@ class ExperimentResult:
                 self.final_verdict.all_hold if self.final_verdict is not None else None
             ),
         }
+        # Healer-specific columns (e.g. BudgetedHealer's deferred_repairs /
+        # budget_stalls) ride along; artifact lines are sorted-key JSON, so
+        # appending here cannot perturb existing goldens.
+        row.update(self.healer_extra)
+        return row
 
 
 def _apply_event(
@@ -168,6 +178,39 @@ def _apply_event(
     report = healer.handle_deletion(event.node)
     messages = report.messages if report.messages else report.total_edge_changes
     return (black_degree, messages, report.rounds)
+
+
+def _validate_batch(live, batch: Sequence[AdversaryEvent]) -> None:
+    """Check a whole adversary batch against the live graph *before* applying it.
+
+    Batched events are atomic: either every member applies or none does.  The
+    healer validates per event, so a bad third event would otherwise leave the
+    first two applied — instead we simulate the batch's membership deltas on a
+    set overlay and raise up front, with the graph untouched.
+    """
+    added: set = set()
+    removed: set = set()
+
+    def present(node) -> bool:
+        if node in added:
+            return True
+        return node in live and node not in removed
+
+    for event in batch:
+        if event.is_insertion:
+            require(not present(event.node), f"batched insertion of existing node {event.node}")
+            for neighbor in event.neighbors:
+                require(neighbor != event.node, "a node cannot be inserted adjacent to itself")
+                require(
+                    present(neighbor),
+                    f"batched insertion neighbor {neighbor} not in the network",
+                )
+            added.add(event.node)
+            removed.discard(event.node)
+        else:
+            require(present(event.node), f"batched deletion of unknown node {event.node}")
+            removed.add(event.node)
+            added.discard(event.node)
 
 
 def _live_view(healer: SelfHealer):
@@ -246,6 +289,7 @@ def run_experiment(
         engine=engine,
     )
     trace: list[AdversaryEvent] = []
+    event_steps: list[int] = []
     verdicts: list[Theorem2Verdict] = []
     insertions = 0
     deletions = 0
@@ -258,31 +302,40 @@ def run_experiment(
     snapshot_cadence = config.snapshot_every if config.snapshot_every else 0
 
     for timestep in range(1, config.timesteps + 1):
-        event = adversary.next_event(live, timestep)
-        if event is None:
+        batch = adversary.next_events(live, timestep)
+        if not batch:
             break
-        trace.append(event)
-        executed += 1
-        if event.is_insertion:
-            insertions += 1
-        else:
-            deletions += 1
-
-        black_degree, messages, rounds = _apply_event(healer, ghost, event)
-        if event.is_deletion:
-            ledger.record_deletion(
-                deleted=event.node,
-                black_degree=black_degree,
-                messages=messages,
-                rounds=rounds,
-                network_size=live.number_of_nodes(),
-            )
-        if fast_tracker:
+        # Atomicity: validate the whole batch against the untouched graph, so
+        # a malformed correlated kill aborts before any member event applies.
+        _validate_batch(live, batch)
+        worst_ratio = degree_tracker.max_ratio_seen
+        for event in batch:
+            trace.append(event)
+            event_steps.append(timestep)
+            executed += 1
             if event.is_insertion:
-                degree_tracker.record_insertion(event.node, event.neighbors)
-            worst_ratio = degree_tracker.observe_store()
-        else:
-            worst_ratio = degree_tracker.observe(healer.graph, ghost)
+                insertions += 1
+            else:
+                deletions += 1
+
+            black_degree, messages, rounds = _apply_event(healer, ghost, event)
+            if event.is_deletion:
+                ledger.record_deletion(
+                    deleted=event.node,
+                    black_degree=black_degree,
+                    messages=messages,
+                    rounds=rounds,
+                    network_size=live.number_of_nodes(),
+                )
+            # Observe after *every* event (not once per timestep): replays
+            # walk the flat trace event by event, so the degree-ratio stream
+            # must match or run-vs-replay byte-identity breaks.
+            if fast_tracker:
+                if event.is_insertion:
+                    degree_tracker.record_insertion(event.node, event.neighbors)
+                worst_ratio = degree_tracker.observe_store()
+            else:
+                worst_ratio = degree_tracker.observe(healer.graph, ghost)
 
         due = config.metric_every and timestep % config.metric_every == 0
         due = due or (snapshot_cadence and timestep % snapshot_cadence == 0)
@@ -337,6 +390,8 @@ def run_experiment(
         trace=trace,
         intermediate_verdicts=verdicts,
         cache_stats=engine.cache_stats(),
+        healer_extra=healer.extra_summary(),
+        event_steps=event_steps,
     )
 
 
@@ -461,4 +516,5 @@ def run_healer_on_trace(
         worst_degree_ratio=degree_tracker.max_ratio_seen,
         trace=list(trace),
         cache_stats=engine.cache_stats(),
+        healer_extra=healer.extra_summary(),
     )

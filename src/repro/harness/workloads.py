@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import networkx as nx
 
+from repro.core.domains import assign_domain
 from repro.scenarios.registry import TOPOLOGIES, register_topology
 from repro.util.validation import require
 
@@ -103,6 +104,69 @@ def two_cliques_workload(n: int, expander_degree: int = 4, seed: int = 0) -> nx.
         for i in range(half):
             for j in range(i + 1, half):
                 graph.add_edge(offset + i, offset + j)
+    return graph
+
+
+@register_topology("racked-clos")
+def racked_clos_workload(racks: int = 4, nodes_per_rack: int = 8, spine_degree: int = 2) -> nx.Graph:
+    """Racked datacenter fabric: intra-rack rings plus a circulant spine.
+
+    Each rack is a failure domain (node attribute ``domain = "rackRR"``):
+    losing one models a ToR switch or power feed going dark.  Within a rack
+    the ``nodes_per_rack`` servers form a ring; across racks, node ``i`` of
+    rack ``r`` links to node ``(i + k) % nodes_per_rack`` of rack
+    ``(r + 1 + k) % racks`` for each spine offset ``k < spine_degree`` — a
+    deterministic circulant wiring (no seed), so the same parameters always
+    produce the same graph, which the byte-identity suites rely on.
+    """
+    require(racks >= 2, "racked-clos needs at least 2 racks")
+    require(nodes_per_rack >= 3, "racked-clos needs at least 3 nodes per rack")
+    require(1 <= spine_degree < racks, "spine_degree must be in [1, racks)")
+    graph = nx.Graph()
+    for rack in range(racks):
+        base = rack * nodes_per_rack
+        members = range(base, base + nodes_per_rack)
+        graph.add_nodes_from(members)
+        assign_domain(graph, members, f"rack{rack:02d}")
+        for i in range(nodes_per_rack):
+            graph.add_edge(base + i, base + (i + 1) % nodes_per_rack)
+    for rack in range(racks):
+        for k in range(spine_degree):
+            other = (rack + 1 + k) % racks
+            if other == rack:
+                continue
+            for i in range(nodes_per_rack):
+                u = rack * nodes_per_rack + i
+                v = other * nodes_per_rack + (i + k) % nodes_per_rack
+                graph.add_edge(u, v)
+    return graph
+
+
+@register_topology("pod-mesh")
+def pod_mesh_workload(pods: int = 4, nodes_per_pod: int = 6, inter_pod_links: int = 2) -> nx.Graph:
+    """Pod mesh: clique pods (CXL memory pods) bridged by a deterministic mesh.
+
+    Each pod is a clique and a failure domain (``domain = "podPP"``) — the
+    sparse-pod topology Octopus motivates.  Every pair of pods is bridged by
+    ``inter_pod_links`` edges: node ``j`` of pod ``a`` connects to node ``j``
+    of pod ``b`` for ``j < inter_pod_links``.  Fully deterministic, no seed.
+    """
+    require(pods >= 2, "pod-mesh needs at least 2 pods")
+    require(nodes_per_pod >= 3, "pod-mesh needs at least 3 nodes per pod")
+    require(1 <= inter_pod_links <= nodes_per_pod, "inter_pod_links must be in [1, nodes_per_pod]")
+    graph = nx.Graph()
+    for pod in range(pods):
+        base = pod * nodes_per_pod
+        members = range(base, base + nodes_per_pod)
+        graph.add_nodes_from(members)
+        assign_domain(graph, members, f"pod{pod:02d}")
+        for i in range(nodes_per_pod):
+            for j in range(i + 1, nodes_per_pod):
+                graph.add_edge(base + i, base + j)
+    for a in range(pods):
+        for b in range(a + 1, pods):
+            for j in range(inter_pod_links):
+                graph.add_edge(a * nodes_per_pod + j, b * nodes_per_pod + j)
     return graph
 
 

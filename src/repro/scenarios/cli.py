@@ -34,8 +34,30 @@ import sys
 from pathlib import Path
 
 
+def _describe_component(component) -> tuple[str, str]:
+    """Return ``(signature, first docstring line)`` for a registered component.
+
+    Built for ``list --verbose``: makes a new pack discoverable without
+    reading source.  Unintrospectable plugins degrade to empty strings
+    rather than failing the listing.
+    """
+    import inspect
+
+    try:
+        signature = str(inspect.signature(component))
+    except (TypeError, ValueError):
+        signature = ""
+    doc = inspect.getdoc(component) or ""
+    first_line = doc.strip().splitlines()[0].strip() if doc.strip() else ""
+    return signature, first_line
+
+
 def _cmd_list(args) -> int:
     from repro.scenarios.registry import (
+        ADVERSARIES,
+        EXECUTORS,
+        HEALERS,
+        TOPOLOGIES,
         list_adversaries,
         list_executors,
         list_healers,
@@ -43,16 +65,23 @@ def _cmd_list(args) -> int:
     )
 
     sections = {
-        "healers": list_healers,
-        "adversaries": list_adversaries,
-        "topologies": list_topologies,
-        "executors": list_executors,
+        "healers": (list_healers, HEALERS),
+        "adversaries": (list_adversaries, ADVERSARIES),
+        "topologies": (list_topologies, TOPOLOGIES),
+        "executors": (list_executors, EXECUTORS),
     }
     wanted = sections if args.kind == "all" else {args.kind: sections[args.kind]}
-    for kind, lister in wanted.items():
+    verbose = getattr(args, "verbose", False)
+    for kind, (lister, registry) in wanted.items():
         print(f"{kind}:")
         for name in lister():
-            print(f"  {name}")
+            if not verbose:
+                print(f"  {name}")
+                continue
+            signature, first_line = _describe_component(registry.get(name))
+            print(f"  {name}{signature}")
+            if first_line:
+                print(f"      {first_line}")
     return 0
 
 
@@ -289,6 +318,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["healers", "adversaries", "topologies", "executors", "all"],
         default="all",
         help="which registry to list (default: all)",
+    )
+    list_parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also show each component's constructor signature and summary line",
     )
     list_parser.set_defaults(func=_cmd_list)
 

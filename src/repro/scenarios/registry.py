@@ -59,6 +59,8 @@ PROVIDER_MODULES: tuple[str, ...] = (
     "repro.baselines",
     "repro.distributed.protocol",
     "repro.adversary.strategies",
+    "repro.adversary.correlated",
+    "repro.core.budget",
     "repro.harness.workloads",
     "repro.scenarios.chaos",
     "repro.scenarios.executors",

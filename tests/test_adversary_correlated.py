@@ -1,0 +1,334 @@
+"""Correlated adversaries: domain kills, batched atomicity, trace replay.
+
+ISSUE 9 tentpole part 2 plus the min-nodes satellite.  The contracts:
+
+* a ``domain-kill`` batch drains one whole failure domain per kill turn and
+  is *atomically* truncated by ``min_nodes`` — never half-applied;
+* the harness applies a batch within one timestep, observing the degree
+  tracker per event, so replaying the flat trace is byte-identical;
+* ``trace-replay`` plays a recorded JSONL churn log back deterministically,
+  batch boundaries included, reproducing the recording run's summary row
+  bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+
+import networkx as nx
+import pytest
+
+from repro.adversary.base import Adversary, AdversaryEvent, EventType
+from repro.adversary.correlated import DomainKillAdversary, TraceReplayAdversary
+from repro.adversary.traces import (
+    churn_trace_bytes,
+    group_into_batches,
+    read_churn_trace,
+    write_churn_trace,
+)
+from repro.core.domains import assign_domain, domain_members
+from repro.harness.experiment import run_experiment
+from repro.scenarios.registry import ADVERSARIES
+from repro.scenarios.spec import ScenarioSpec
+from repro.util.validation import ValidationError
+
+
+def labelled_graph(domains: dict[str, list[int]], extra_nodes: int = 0) -> nx.Graph:
+    """A connected graph whose nodes carry the given domain labels."""
+    nodes = sorted(node for members in domains.values() for node in members)
+    nodes += list(range(max(nodes, default=-1) + 1, max(nodes, default=-1) + 1 + extra_nodes))
+    graph = nx.cycle_graph(nodes) if len(nodes) > 2 else nx.path_graph(nodes)
+    for name, members in domains.items():
+        assign_domain(graph, members, name)
+    return graph
+
+
+# -- registry -----------------------------------------------------------------
+
+
+def test_correlated_adversaries_are_registered_with_aliases():
+    assert ADVERSARIES.get("domain-kill") is DomainKillAdversary
+    assert ADVERSARIES.get("rack-kill") is DomainKillAdversary
+    assert ADVERSARIES.get("trace-replay") is TraceReplayAdversary
+
+
+# -- the atomic min-nodes guard (satellite regression) ------------------------
+
+
+def test_batched_deletions_truncate_atomically_at_the_min_nodes_floor():
+    graph = nx.cycle_graph(6)
+    batch = Adversary._batched_deletions(graph, [0, 1, 2, 3], minimum_remaining=4)
+    # 6 nodes, floor 4: only the first two targets survive the truncation.
+    assert [event.node for event in batch] == [0, 1]
+    assert all(event.is_deletion for event in batch)
+
+
+def test_batched_deletions_return_empty_when_no_deletion_is_affordable():
+    graph = nx.cycle_graph(4)
+    assert Adversary._batched_deletions(graph, [0, 1], minimum_remaining=4) == ()
+    assert Adversary._batched_deletions(graph, [0], minimum_remaining=9) == ()
+
+
+def test_batched_deletions_skip_absent_targets_without_spending_allowance():
+    graph = nx.cycle_graph(6)
+    batch = Adversary._batched_deletions(graph, [99, 0, 98, 1], minimum_remaining=4)
+    assert [event.node for event in batch] == [0, 1]
+
+
+def test_domain_kill_never_half_applies_a_kill(monkeypatch):
+    """Regression: a kill bigger than the allowance shrinks, up front.
+
+    The harness receives the already-truncated batch; at no point does a
+    partially-applied domain kill exist.  With a 6-node rack and a floor of
+    8 on a 10-node graph, exactly 2 members die — in sorted order.
+    """
+    graph = labelled_graph({"rack00": [0, 1, 2, 3, 4, 5]}, extra_nodes=4)
+    adversary = DomainKillAdversary(min_nodes=8, seed=0)
+    adversary.bind(graph)
+    batch = adversary.next_events(graph, timestep=1)
+    assert [event.node for event in batch] == [0, 1]
+    assert all(event.is_deletion for event in batch)
+
+
+def test_domain_kill_falls_back_to_insertion_at_the_floor():
+    graph = labelled_graph({"rack00": [0, 1, 2, 3]})
+    adversary = DomainKillAdversary(min_nodes=4, seed=0)
+    adversary.bind(graph)
+    batch = adversary.next_events(graph, timestep=1)
+    assert len(batch) == 1 and batch[0].is_insertion
+
+
+# -- domain-kill selection policies -------------------------------------------
+
+
+def test_domain_kill_drains_one_whole_domain_per_kill_turn():
+    graph = labelled_graph({"rack00": [0, 1, 2], "rack01": [3, 4, 5]}, extra_nodes=4)
+    adversary = DomainKillAdversary(order="round-robin", min_nodes=4, seed=0)
+    adversary.bind(graph)
+    first = adversary.next_events(graph, timestep=1)
+    assert [event.node for event in first] == [0, 1, 2]
+    graph.remove_nodes_from([0, 1, 2])
+    second = adversary.next_events(graph, timestep=2)
+    assert [event.node for event in second] == [3, 4, 5]
+
+
+def test_domain_kill_largest_order_prefers_the_biggest_domain():
+    graph = labelled_graph({"small": [0, 1], "big": [2, 3, 4]}, extra_nodes=5)
+    adversary = DomainKillAdversary(order="largest", min_nodes=4, seed=0)
+    adversary.bind(graph)
+    batch = adversary.next_events(graph, timestep=1)
+    assert [event.node for event in batch] == [2, 3, 4]
+
+
+def test_domain_kill_max_kills_bounds_the_correlated_losses():
+    graph = labelled_graph({"rack00": [0, 1], "rack01": [2, 3]}, extra_nodes=4)
+    adversary = DomainKillAdversary(order="round-robin", min_nodes=4, max_kills=1, seed=0)
+    adversary.bind(graph)
+    assert all(event.is_deletion for event in adversary.next_events(graph, 1))
+    graph.remove_nodes_from([0, 1])
+    followup = adversary.next_events(graph, 2)
+    assert len(followup) == 1 and followup[0].is_insertion
+
+
+def test_domain_kill_inserted_nodes_are_domainless():
+    spec = ScenarioSpec(
+        healer="no-heal",
+        adversary="domain-kill",
+        adversary_kwargs={"kill_every": 2, "min_nodes": 4},
+        topology="pod-mesh",
+        topology_kwargs={"pods": 2, "nodes_per_pod": 4},
+        timesteps=4,
+        seed=3,
+        exact_expansion_limit=0,
+        stretch_sample_pairs=5,
+    )
+    result = run_experiment(spec.compile())
+    inserted = {event.node for event in result.trace if event.is_insertion}
+    assert inserted
+    members = domain_members(result.final_graph)
+    labelled = {node for nodes in members.values() for node in nodes}
+    assert not (inserted & labelled)
+
+
+def test_domain_kill_rejects_bad_parameters():
+    with pytest.raises(ValidationError):
+        DomainKillAdversary(kill_every=0)
+    with pytest.raises(ValidationError):
+        DomainKillAdversary(order="biggest-first")
+    with pytest.raises(ValidationError):
+        DomainKillAdversary(max_kills=-1)
+
+
+# -- batched events in the harness --------------------------------------------
+
+
+def test_run_experiment_applies_a_whole_batch_in_one_timestep():
+    spec = ScenarioSpec(
+        healer="xheal",
+        adversary="domain-kill",
+        adversary_kwargs={"kill_every": 2, "min_nodes": 5},
+        topology="racked-clos",
+        topology_kwargs={"racks": 3, "nodes_per_rack": 4},
+        timesteps=4,
+        seed=5,
+        exact_expansion_limit=0,
+        stretch_sample_pairs=5,
+    )
+    result = run_experiment(spec.compile())
+    # More events than timesteps: batches happened.
+    assert result.timesteps_executed == len(result.trace) > 4
+    assert result.event_steps == sorted(result.event_steps)
+    assert set(result.event_steps) <= {1, 2, 3, 4}
+    # Every kill turn's batch shares one timestep.
+    by_step: dict[int, list[AdversaryEvent]] = {}
+    for event, step in zip(result.trace, result.event_steps):
+        by_step.setdefault(step, []).append(event)
+    assert any(len(events) > 1 for events in by_step.values())
+
+
+def test_run_experiment_rejects_an_invalid_batch_before_applying_any_of_it():
+    class BadBatch(Adversary):
+        name = "bad-batch"
+
+        def next_events(self, graph, timestep):
+            nodes = sorted(graph.nodes())
+            return (
+                AdversaryEvent(EventType.DELETE, nodes[0]),
+                AdversaryEvent(EventType.DELETE, 10_000),  # not in the graph
+            )
+
+    from repro.harness.experiment import ExperimentConfig
+    from repro.scenarios.registry import HEALERS
+
+    config = ExperimentConfig(
+        healer_factory=lambda: HEALERS.get("no-heal")(seed=0),
+        adversary_factory=lambda: BadBatch(seed=0),
+        initial_graph=nx.cycle_graph(6),
+        timesteps=2,
+        exact_expansion_limit=0,
+        stretch_sample_pairs=5,
+    )
+    with pytest.raises(ValidationError, match="batched deletion of unknown node"):
+        run_experiment(config)
+
+
+def test_batch_validation_tracks_membership_deltas_within_the_batch():
+    """Insert-then-attach and delete-then-reuse are legal inside one batch."""
+
+    class InsertChain(Adversary):
+        name = "insert-chain"
+
+        def __init__(self, seed: int = 0):
+            super().__init__(seed=seed)
+            self._done = False
+
+        def next_events(self, graph, timestep):
+            if self._done:
+                return None
+            self._done = True
+            return (
+                AdversaryEvent(EventType.INSERT, 100, (0,)),
+                AdversaryEvent(EventType.INSERT, 101, (100,)),  # anchors on 100
+                AdversaryEvent(EventType.DELETE, 100),
+            )
+
+    from repro.harness.experiment import ExperimentConfig
+    from repro.scenarios.registry import HEALERS
+
+    config = ExperimentConfig(
+        healer_factory=lambda: HEALERS.get("no-heal")(seed=0),
+        adversary_factory=lambda: InsertChain(seed=0),
+        initial_graph=nx.cycle_graph(5),
+        timesteps=3,
+        exact_expansion_limit=0,
+        stretch_sample_pairs=5,
+    )
+    result = run_experiment(config)
+    assert result.timesteps_executed == 3
+    assert result.insertions == 2 and result.deletions == 1
+    assert 101 in result.final_graph and 100 not in result.final_graph
+
+
+# -- churn traces and trace-replay --------------------------------------------
+
+
+def test_churn_trace_read_write_round_trip(tmp_path):
+    events = [
+        AdversaryEvent(EventType.DELETE, 3),
+        AdversaryEvent(EventType.DELETE, 4),
+        AdversaryEvent(EventType.INSERT, 9, (0, 1)),
+    ]
+    path = write_churn_trace(events, tmp_path / "trace.jsonl", steps=[1, 1, 2])
+    parsed_events, parsed_steps = read_churn_trace(path)
+    assert parsed_events == events
+    assert parsed_steps == [1, 1, 2]
+    assert path.read_bytes() == churn_trace_bytes(events, [1, 1, 2])
+
+
+def test_churn_trace_rejects_malformed_lines(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"type": "explode", "node": 1}\n')
+    with pytest.raises(ValueError, match="bad.jsonl:1"):
+        read_churn_trace(path)
+
+
+def test_group_into_batches_groups_only_consecutive_equal_steps():
+    events = [AdversaryEvent(EventType.DELETE, n) for n in range(5)]
+    batches = group_into_batches(events, [1, 1, 2, 1, None])
+    assert [len(batch) for batch in batches] == [2, 1, 1, 1]
+    assert [event.node for event in batches[0]] == [0, 1]
+
+
+def test_trace_replay_preserves_batch_boundaries(tmp_path):
+    events = [
+        AdversaryEvent(EventType.DELETE, 0),
+        AdversaryEvent(EventType.DELETE, 1),
+        AdversaryEvent(EventType.INSERT, 9, (2,)),
+    ]
+    path = write_churn_trace(events, tmp_path / "trace.jsonl", steps=[1, 1, 2])
+    adversary = TraceReplayAdversary(path=str(path))
+    graph = nx.cycle_graph(6)
+    adversary.bind(graph)
+    assert [e.node for e in adversary.next_events(graph, 1)] == [0, 1]
+    assert [e.node for e in adversary.next_events(graph, 2)] == [9]
+    assert adversary.next_events(graph, 3) is None
+
+
+def test_trace_replay_label_overrides_the_reported_adversary_name(tmp_path):
+    path = write_churn_trace([AdversaryEvent(EventType.DELETE, 0)], tmp_path / "t.jsonl")
+    assert TraceReplayAdversary(path=str(path)).name == "trace-replay"
+    assert TraceReplayAdversary(path=str(path), label="domain-kill").name == "domain-kill"
+
+
+def test_recorded_run_replayed_via_trace_replay_is_bit_identical(tmp_path):
+    """The ISSUE 9 acceptance criterion, end to end through specs."""
+    spec = ScenarioSpec(
+        healer="budgeted",
+        adversary="domain-kill",
+        adversary_kwargs={"kill_every": 3, "min_nodes": 6},
+        healer_kwargs={"inner": "xheal", "budget": 2},
+        topology="racked-clos",
+        topology_kwargs={"racks": 3, "nodes_per_rack": 5},
+        timesteps=9,
+        seed=7,
+        exact_expansion_limit=0,
+        stretch_sample_pairs=20,
+    )
+    original = run_experiment(spec.compile())
+    trace_path = tmp_path / "churn.jsonl"
+    write_churn_trace(original.trace, trace_path, steps=original.event_steps)
+
+    replay_spec = spec.with_overrides(
+        adversary="trace-replay",
+        adversary_kwargs={"path": str(trace_path), "label": original.adversary_name},
+    )
+    replayed = run_experiment(replay_spec.compile())
+
+    assert json.dumps(replayed.summary_row(), sort_keys=True) == json.dumps(
+        original.summary_row(), sort_keys=True
+    )
+    # ... and re-recording the replay reproduces the trace file byte for byte.
+    assert (
+        churn_trace_bytes(replayed.trace, replayed.event_steps)
+        == trace_path.read_bytes()
+    )

@@ -53,6 +53,25 @@ def test_list_exits_zero(capsys):
     assert "healers:" in out and "xheal" in out
 
 
+def test_list_verbose_shows_signatures_and_docstring_summaries(capsys):
+    assert cli_main(["list", "--verbose"]) == 0
+    out = capsys.readouterr().out
+    # Constructor signature with defaults, on the component's own line...
+    assert "budgeted(inner:" in out and "budget:" in out
+    assert "domain-kill(kill_every:" in out
+    assert "trace-replay(path:" in out
+    # ... and the first docstring line indented beneath it.
+    assert "Kill an entire failure domain at once" in out
+    assert "Replay a recorded JSONL churn trace" in out
+
+
+def test_list_verbose_restricts_to_the_requested_kind(capsys):
+    assert cli_main(["list", "--kind", "topologies", "--verbose"]) == 0
+    out = capsys.readouterr().out
+    assert "racked-clos(racks:" in out and "pod-mesh(pods:" in out
+    assert "healers:" not in out
+
+
 def test_run_unknown_healer_suggests_the_nearest_name(tmp_path, capsys):
     spec = tmp_path / "typo.json"
     spec.write_text(BASE.with_overrides(healer="xhea").to_json())

@@ -1,0 +1,168 @@
+"""Failure-domain layer: node metadata, datacenter topologies, round-trips.
+
+ISSUE 9 tentpole part 1: domain labels are plain node metadata that must
+survive every representation the pipeline moves a graph through — the
+``nx.Graph`` a topology generator emits, the healer's ``EdgeStore``, the
+materialized snapshot, and a spec JSON round-trip (the generator is
+deterministic, so rebuilding from the spec reproduces the labels).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.domains import (
+    DOMAIN_KEY,
+    assign_domain,
+    domain_members,
+    list_domains,
+    node_domain,
+)
+from repro.core.edgestore import EdgeStore
+from repro.scenarios.registry import HEALERS, TOPOLOGIES
+from repro.scenarios.spec import ScenarioSpec
+from repro.util.validation import ValidationError
+
+
+# -- domain helpers -----------------------------------------------------------
+
+
+def test_node_domain_reads_nx_graphs_and_edgestores_identically():
+    graph = nx.path_graph(3)
+    assign_domain(graph, [0, 1], "rack00")
+    store = EdgeStore()
+    for node in graph.nodes():
+        store.add_node(node)
+        if graph.nodes[node]:
+            store.set_node_data(node, graph.nodes[node])
+    assert node_domain(graph, 0) == node_domain(store, 0) == "rack00"
+    assert node_domain(graph, 2) is None and node_domain(store, 2) is None
+    assert domain_members(graph) == domain_members(store) == {"rack00": [0, 1]}
+    assert list_domains(store) == ["rack00"]
+
+
+def test_domain_members_sorts_domains_and_their_members():
+    graph = nx.empty_graph(6)
+    assign_domain(graph, [5, 3], "b")
+    assign_domain(graph, [4, 0], "a")
+    assert domain_members(graph) == {"a": [0, 4], "b": [3, 5]}
+
+
+# -- EdgeStore node metadata --------------------------------------------------
+
+
+def test_edgestore_node_data_round_trips_through_to_networkx():
+    store = EdgeStore()
+    store.add_node(1)
+    store.add_node(2)
+    store.add_edge(1, 2)
+    store.set_node_data(1, {DOMAIN_KEY: "pod00", "weight": 3})
+    snapshot = store.to_networkx()
+    assert snapshot.nodes[1] == {DOMAIN_KEY: "pod00", "weight": 3}
+    assert snapshot.nodes[2] == {}
+    # The snapshot owns its attrs: mutating it must not touch the store.
+    snapshot.nodes[1]["weight"] = 99
+    assert store.node_data(1)["weight"] == 3
+
+
+def test_edgestore_removing_a_node_drops_its_metadata():
+    store = EdgeStore()
+    store.add_node(1)
+    store.set_node_data(1, {DOMAIN_KEY: "rack00"})
+    store.remove_node(1)
+    store.add_node(1)
+    assert store.node_data(1) == {}
+
+
+def test_edgestore_node_data_raises_for_unknown_nodes():
+    store = EdgeStore()
+    with pytest.raises(KeyError):
+        store.node_data(7)
+    with pytest.raises(KeyError):
+        store.set_node_data(7, {"domain": "x"})
+
+
+def test_edgestore_empty_data_clears_the_annotation():
+    store = EdgeStore()
+    store.add_node(1)
+    store.set_node_data(1, {"domain": "rack00"})
+    store.set_node_data(1, {})
+    assert store.node_data(1) == {}
+
+
+def test_healer_initialize_copies_node_attributes_into_the_store():
+    graph = TOPOLOGIES.get("racked-clos")(racks=3, nodes_per_rack=4)
+    healer = HEALERS.get("xheal")(seed=0)
+    healer.initialize(graph)
+    assert domain_members(healer.graph_store) == domain_members(graph)
+    # ... and back out through the lazy materializer.
+    assert domain_members(healer.graph) == domain_members(graph)
+    # A second healer fed the materialized snapshot sees the same labels:
+    # the EdgeStore round-trip is lossless.
+    second = HEALERS.get("no-heal")(seed=0)
+    second.initialize(healer.graph)
+    assert domain_members(second.graph_store) == domain_members(graph)
+
+
+# -- datacenter topologies ----------------------------------------------------
+
+
+def test_racked_clos_is_connected_deterministic_and_fully_labelled():
+    first = TOPOLOGIES.get("racked-clos")(racks=4, nodes_per_rack=6, spine_degree=2)
+    second = TOPOLOGIES.get("racked-clos")(racks=4, nodes_per_rack=6, spine_degree=2)
+    assert nx.is_connected(first)
+    assert nx.utils.graphs_equal(first, second)
+    members = domain_members(first)
+    assert sorted(members) == ["rack00", "rack01", "rack02", "rack03"]
+    assert all(len(nodes) == 6 for nodes in members.values())
+    assert sum(len(nodes) for nodes in members.values()) == first.number_of_nodes()
+
+
+def test_racked_clos_stays_connected_after_losing_any_whole_rack():
+    graph = TOPOLOGIES.get("racked-clos")(racks=4, nodes_per_rack=6, spine_degree=2)
+    for rack, nodes in domain_members(graph).items():
+        survivor = graph.copy()
+        survivor.remove_nodes_from(nodes)
+        assert nx.is_connected(survivor), f"losing {rack} disconnected the fabric"
+
+
+def test_pod_mesh_builds_clique_pods_with_the_requested_bridges():
+    graph = TOPOLOGIES.get("pod-mesh")(pods=3, nodes_per_pod=4, inter_pod_links=2)
+    assert nx.is_connected(graph)
+    members = domain_members(graph)
+    assert sorted(members) == ["pod00", "pod01", "pod02"]
+    for nodes in members.values():
+        pod = graph.subgraph(nodes)
+        assert pod.number_of_edges() == 4 * 3 // 2  # clique
+    inter = [
+        (u, v)
+        for u, v in graph.edges()
+        if node_domain(graph, u) != node_domain(graph, v)
+    ]
+    assert len(inter) == 3 * 2  # pods choose 2 pairs x inter_pod_links
+
+
+def test_datacenter_topologies_validate_their_parameters():
+    with pytest.raises(ValidationError):
+        TOPOLOGIES.get("racked-clos")(racks=1)
+    with pytest.raises(ValidationError):
+        TOPOLOGIES.get("racked-clos")(racks=4, spine_degree=4)
+    with pytest.raises(ValidationError):
+        TOPOLOGIES.get("pod-mesh")(pods=2, nodes_per_pod=4, inter_pod_links=5)
+
+
+def test_domain_labels_survive_a_spec_json_round_trip():
+    spec = ScenarioSpec(
+        healer="no-heal",
+        adversary="insertion-only",
+        topology="pod-mesh",
+        topology_kwargs={"pods": 3, "nodes_per_pod": 4},
+        timesteps=1,
+        seed=0,
+    )
+    rebuilt = ScenarioSpec.from_json(spec.to_json())
+    assert rebuilt == spec
+    assert domain_members(rebuilt.build_initial_graph()) == domain_members(
+        spec.build_initial_graph()
+    )

@@ -1,0 +1,156 @@
+"""Property-based tests (hypothesis) for the JSONL churn-trace format.
+
+ISSUE 9 satellite: for arbitrary event sequences, write → read → write is
+byte-identical (the encoding is canonical), batch grouping round-trips, and
+a recorded run replayed through the ``trace-replay`` adversary re-records a
+byte-identical trace and a bit-identical summary row.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.base import AdversaryEvent, EventType
+from repro.adversary.correlated import TraceReplayAdversary
+from repro.adversary.traces import (
+    churn_trace_bytes,
+    group_into_batches,
+    read_churn_trace,
+    write_churn_trace,
+)
+from repro.harness.experiment import run_experiment
+from repro.scenarios.spec import ScenarioSpec
+
+FAST = settings(max_examples=60, deadline=None)
+
+_node_ids = st.integers(min_value=0, max_value=10_000)
+
+_events = st.builds(
+    lambda kind, node, neighbors: AdversaryEvent(
+        EventType(kind), node, tuple(neighbor for neighbor in neighbors if neighbor != node)
+    ),
+    st.sampled_from(["insert", "delete"]),
+    _node_ids,
+    st.lists(_node_ids, max_size=4, unique=True),
+)
+
+
+@st.composite
+def _traces(draw):
+    """A random event list plus an optionally-batched non-decreasing step list."""
+    events = draw(st.lists(_events, max_size=12))
+    if not events or draw(st.booleans()):
+        return events, None
+    steps: list[int] = []
+    step = 1
+    for _ in events:
+        step += draw(st.integers(min_value=0, max_value=2))
+        steps.append(step)
+    return events, steps
+
+
+@FAST
+@given(_traces())
+def test_churn_trace_bytes_round_trip_exactly(trace):
+    events, steps = trace
+    data = churn_trace_bytes(events, steps)
+    # Parse back from the exact bytes and re-encode: fixpoint after one trip.
+    import tempfile, os
+
+    fd, path = tempfile.mkstemp(suffix=".jsonl")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        parsed_events, parsed_steps = read_churn_trace(path)
+    finally:
+        os.unlink(path)
+    assert parsed_events == events
+    if steps is None:
+        assert all(step is None for step in parsed_steps)
+        assert churn_trace_bytes(parsed_events) == data
+    else:
+        assert parsed_steps == steps
+        assert churn_trace_bytes(parsed_events, parsed_steps) == data
+
+
+@FAST
+@given(_traces())
+def test_grouping_preserves_order_and_every_event(trace):
+    events, steps = trace
+    step_list = steps if steps is not None else [None] * len(events)
+    batches = group_into_batches(events, step_list)
+    flattened = [event for batch in batches for event in batch]
+    assert flattened == list(events)
+    assert all(len(batch) >= 1 for batch in batches)
+    if steps is not None:
+        # Events inside one batch all carried the same recorded step.
+        position = 0
+        for batch in batches:
+            batch_steps = step_list[position : position + len(batch)]
+            assert len(set(batch_steps)) == 1
+            position += len(batch)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=1_000_000))
+def test_recorded_runs_replay_byte_identically_for_any_seed(tmp_path_factory, seed):
+    """record → trace-replay → byte-identical trace and bit-identical summary."""
+    spec = ScenarioSpec(
+        healer="budgeted",
+        healer_kwargs={"inner": "line-heal", "budget": 2},
+        adversary="domain-kill",
+        adversary_kwargs={"kill_every": 2, "min_nodes": 5},
+        topology="pod-mesh",
+        topology_kwargs={"pods": 2, "nodes_per_pod": 4},
+        timesteps=4,
+        seed=seed,
+        exact_expansion_limit=0,
+        stretch_sample_pairs=5,
+        snapshot_every=0,
+    )
+    original = run_experiment(spec.compile())
+    trace_path = tmp_path_factory.mktemp("traces") / "churn.jsonl"
+    write_churn_trace(original.trace, trace_path, steps=original.event_steps)
+
+    replay_spec = spec.with_overrides(
+        adversary="trace-replay",
+        adversary_kwargs={"path": str(trace_path), "label": original.adversary_name},
+    )
+    replayed = run_experiment(replay_spec.compile())
+    assert json.dumps(replayed.summary_row(), sort_keys=True) == json.dumps(
+        original.summary_row(), sort_keys=True
+    )
+    assert (
+        churn_trace_bytes(replayed.trace, replayed.event_steps)
+        == trace_path.read_bytes()
+    )
+
+
+def test_trace_replay_adversary_is_a_pure_function_of_the_file(tmp_path):
+    events = [
+        AdversaryEvent(EventType.DELETE, 0),
+        AdversaryEvent(EventType.DELETE, 1),
+        AdversaryEvent(EventType.INSERT, 9, (2,)),
+    ]
+    path = write_churn_trace(events, tmp_path / "t.jsonl", steps=[1, 1, 2])
+    import networkx as nx
+
+    outputs = []
+    for _ in range(2):
+        adversary = TraceReplayAdversary(path=str(path), seed=123)
+        graph = nx.cycle_graph(6)
+        adversary.bind(graph)
+        batches = []
+        step = 0
+        while True:
+            step += 1
+            batch = adversary.next_events(graph, step)
+            if batch is None:
+                break
+            batches.append(batch)
+        outputs.append(batches)
+    assert outputs[0] == outputs[1]
+    assert [len(batch) for batch in outputs[0]] == [2, 1]

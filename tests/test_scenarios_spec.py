@@ -31,6 +31,8 @@ TOPOLOGY_KWARGS = {
     "ring": {"n": 12},
     "power-law": {"n": 12, "m": 2},
     "two-cliques": {"n": 12},
+    "racked-clos": {"racks": 3, "nodes_per_rack": 4},
+    "pod-mesh": {"pods": 3, "nodes_per_pod": 4},
 }
 
 
@@ -97,15 +99,24 @@ def test_non_json_kwargs_are_rejected():
         spec.validate()
 
 
-def test_every_registered_combination_round_trips_and_compiles():
+def test_every_registered_combination_round_trips_and_compiles(tmp_path):
     """Property-style sweep: all healer x adversary x topology combos survive
     ScenarioSpec -> JSON -> ScenarioSpec -> ExperimentConfig."""
+    from repro.adversary.base import AdversaryEvent, EventType
+    from repro.adversary.traces import write_churn_trace
+
+    trace = write_churn_trace(
+        [AdversaryEvent(EventType.INSERT, 999, (0,))], tmp_path / "churn.jsonl"
+    )
+    # Adversaries with required constructor arguments beyond a seed.
+    adversary_kwargs = {"trace-replay": {"path": str(trace)}}
     for healer in list_healers():
         for adversary in list_adversaries():
             for topology in list_topologies():
                 spec = ScenarioSpec(
                     healer=healer,
                     adversary=adversary,
+                    adversary_kwargs=adversary_kwargs.get(adversary, {}),
                     topology=topology,
                     topology_kwargs=TOPOLOGY_KWARGS[topology],
                     timesteps=5,
