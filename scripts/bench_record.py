@@ -304,6 +304,35 @@ def bench_sweep_throughput() -> dict[str, dict]:
             "wall_s": elapsed,
             "points_per_s": len(specs) / elapsed,
         }
+        # The adaptive schedule's dividend (ISSUE 10): successive halving
+        # over kappa reaches the same final-budget winner while materializing
+        # only a fraction of the exhaustive grid at that budget.
+        from repro.scenarios.adaptive import AdaptiveSpec, HalvingSchedule, run_adaptive
+
+        adaptive = SweepSpec(
+            base=base,
+            axes={"healer_kwargs.kappa": [2, 3, 4, 5]},
+            adaptive=AdaptiveSpec(
+                halving=HalvingSchedule(
+                    axis="healer_kwargs.kappa",
+                    objective="amortized_msgs",
+                    replicates=2,
+                    growth=2,
+                )
+            ),
+        )
+        start = time.perf_counter()
+        adaptive_result = run_adaptive(adaptive, tmp / "adaptive")
+        elapsed = time.perf_counter() - start
+        rows["adaptive_points_saved"] = {
+            "rounds": len(adaptive_result.rounds),
+            "points_run": len(adaptive_result.specs),
+            "exhaustive_points": adaptive_result.exhaustive_points,
+            "points_saved": adaptive_result.points_saved,
+            "saved_fraction": adaptive_result.points_saved
+            / adaptive_result.exhaustive_points,
+            "wall_s": elapsed,
+        }
         shutil.rmtree(tmp / "serial_plain")
     return rows
 

@@ -59,9 +59,11 @@ from repro.scenarios.spec import canonical_fingerprint
 from repro.scenarios.stream import (
     FAILURES_NAME,
     MANIFEST_NAME,
+    ROUNDS_NAME,
     index_paths,
     is_index_name,
     iter_index_entries,
+    read_rounds,
 )
 from repro.scenarios.sweep import flatten_dotted, split_replicate
 from repro.util.rng import derive_seed
@@ -88,8 +90,8 @@ def scan_artifact_paths(directory: str | Path, allow_empty: bool = False) -> lis
     When the directory carries a ``MANIFEST.json`` (a finalized streamed
     sweep), its entry order — the sweep's submission order — wins; otherwise
     every ``*.jsonl`` / ``*.jsonl.gz`` except the stream index (legacy or
-    any ``index-<worker>.jsonl`` shard of it) and the failure ledger is
-    taken in sorted-name order.  ``allow_empty=True`` permits a
+    any ``index-<worker>.jsonl`` shard of it) and the failure/round ledgers
+    is taken in sorted-name order.  ``allow_empty=True`` permits a
     directory with no artifacts at all (a degraded sweep whose every point
     was quarantined still deserves a report of its failures).
     """
@@ -107,6 +109,7 @@ def scan_artifact_paths(directory: str | Path, allow_empty: bool = False) -> lis
         for path in directory.glob(pattern)
         if not is_index_name(path.name)
         and path.name != FAILURES_NAME
+        and path.name != ROUNDS_NAME
         and not path.name.startswith(".")
     )
     require(
@@ -356,14 +359,19 @@ def replicate_groups(points: list) -> dict:
     return {base: members for base, members in groups.items() if len(members) > 1}
 
 
-def bootstrap_ci(values: list, seed_label: str) -> tuple[float, float]:
+def bootstrap_ci(values: list, *seed_labels) -> tuple[float, float]:
     """Deterministic bootstrap 95% CI of the mean of ``values``.
 
-    Seeded from the group/metric label via :func:`derive_seed` (pure-Python
+    Seeded from the group/metric labels via :func:`derive_seed` (pure-Python
     ``random.Random``), so goldens and watch/one-shot differentials are
-    byte-stable across platforms and runs.
+    byte-stable across platforms and runs.  The labels pass through as
+    *separate* ``derive_seed`` arguments rather than being joined into one
+    string: a joined label made ``("a:b", "c")`` and ``("a", "b:c")``
+    collide, so a base point named with a colon could share its resample
+    stream with a different (point, metric) pair — identical value columns
+    under different labels must draw independent resamples.
     """
-    rng = random.Random(derive_seed(0, "report-ci", seed_label))
+    rng = random.Random(derive_seed(0, "report-ci", *seed_labels))
     size = len(values)
     means = sorted(
         sum(rng.choices(values, k=size)) / size for _ in range(_CI_RESAMPLES)
@@ -400,7 +408,7 @@ def _replicate_stats(base: str, members: list, ci: bool) -> list[dict]:
             "max": max(column),
         }
         if ci:
-            low, high = bootstrap_ci(list(column), f"{base}:{key}")
+            low, high = bootstrap_ci(list(column), base, key)
             row["ci95"] = f"[{_cell(low)}, {_cell(high)}]"
         rows.append(row)
     return rows
@@ -419,6 +427,98 @@ def _replicate_section(groups: dict, ci: bool) -> str:
         parts.append(
             f"### {base} ({len(members)} replicates)\n\n"
             + _markdown_table(_replicate_stats(base, members, ci), columns)
+        )
+    return "\n\n".join(parts)
+
+
+# -- adaptive schedule --------------------------------------------------------
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _adaptive_section(rounds: list) -> str:
+    """Render the per-round decision table replayed from ``rounds.jsonl``.
+
+    The ledger carries no timing data — every cell below is a pure function
+    of recorded summary rows — so this section is byte-identical between an
+    interrupted-and-resumed adaptive sweep and an uninterrupted one.
+    """
+    parts = [
+        "## Adaptive schedule",
+        "Replayed from `rounds.jsonl`; every decision is a pure function of\n"
+        "the recorded summary rows (never wall-clock), so resumed runs render\n"
+        "this table identically.",
+    ]
+    mode = rounds[0].get("mode")
+    if mode == "halving":
+        final = rounds[-1]
+        goal = "minimized" if final.get("minimize", True) else "maximized"
+        parts.append(
+            f"Successive halving over `{final.get('axis')}` by "
+            f"`{final.get('objective')}` ({goal})."
+        )
+        rows = []
+        for entry in rounds:
+            budget = entry.get("budget", {})
+            scores = entry.get("scores", [])
+            best = None
+            if scores and all(_is_number(score.get("score")) for score in scores):
+                sign = 1 if entry.get("minimize", True) else -1
+                order = sorted(
+                    range(len(scores)),
+                    key=lambda i: (sign * scores[i]["score"], i),
+                )
+                best = scores[order[0]].get("arm")
+            rows.append(
+                {
+                    "round": entry.get("round"),
+                    "replicates": budget.get("replicates"),
+                    "timesteps": budget.get("timesteps"),
+                    "arms": ", ".join(_cell(score.get("arm")) for score in scores),
+                    "best": best,
+                    "survivors": ", ".join(
+                        _cell(arm) for arm in entry.get("survivors", [])
+                    ),
+                }
+            )
+        parts.append(
+            _markdown_table(
+                rows,
+                ["round", "replicates", "timesteps", "arms", "best", "survivors"],
+            )
+        )
+    else:
+        final = rounds[-1]
+        parts.append(
+            f"Replicate stopping on `{final.get('metric')}` at target CI "
+            f"half-width {_cell(final.get('target_half_width'))}."
+        )
+        rows = []
+        for entry in rounds:
+            decisions = entry.get("decisions", [])
+            statuses = [decision.get("status") for decision in decisions]
+            halves = [
+                decision.get("half_width")
+                for decision in decisions
+                if _is_number(decision.get("half_width"))
+            ]
+            rows.append(
+                {
+                    "round": entry.get("round"),
+                    "active": len(decisions),
+                    "converged": statuses.count("converged"),
+                    "exhausted": statuses.count("exhausted"),
+                    "continuing": statuses.count("continue"),
+                    "max half-width": max(halves) if halves else None,
+                }
+            )
+        parts.append(
+            _markdown_table(
+                rows,
+                ["round", "active", "converged", "exhausted", "continuing", "max half-width"],
+            )
         )
     return "\n\n".join(parts)
 
@@ -454,12 +554,15 @@ def _failed_section(failed: list) -> str:
     )
 
 
-def _render(directory: Path, points: list, include_timeline: bool, ci: bool, failed=()):
+def _render(
+    directory: Path, points: list, include_timeline: bool, ci: bool, failed=(), rounds=()
+):
     """Compose the markdown document; return ``(axes, groups, markdown)``.
 
     ``failed`` is the directory's quarantined-point entries; a failure-free
     directory renders byte-identically to the pre-failure format (no extra
-    bullet, no section).
+    bullet, no section).  ``rounds`` is the adaptive-round ledger; a
+    non-adaptive directory likewise renders exactly as before.
     """
     axes = detect_axes(points)
     groups = replicate_groups(points)
@@ -485,6 +588,8 @@ def _render(directory: Path, points: list, include_timeline: bool, ci: bool, fai
         sections.append(_failed_section(list(failed)))
     for key, values in axes.items():
         sections.append(_axis_section(key, values, points))
+    if rounds:
+        sections.append(_adaptive_section(list(rounds)))
     if groups:
         sections.append(_replicate_section(groups, ci))
     if include_timeline and any(point.timeline for point in points):
@@ -578,7 +683,9 @@ def generate_report(
     # its ledger lines are history, not a verdict.
     succeeded = {point.fingerprint for point in points}
     failed = [entry for entry in failed_all if entry.get("fingerprint") not in succeeded]
-    axes, groups, markdown = _render(directory, points, include_timeline, ci, failed)
+    axes, groups, markdown = _render(
+        directory, points, include_timeline, ci, failed, read_rounds(directory)
+    )
 
     written: list[Path] = []
     if out_dir is not None:
@@ -720,7 +827,12 @@ class ReportWatcher:
             entry for entry in failed_all if entry.get("fingerprint") not in succeeded
         ]
         axes, groups, markdown = _render(
-            self.directory, points, self.include_timeline, self.ci, failed
+            self.directory,
+            points,
+            self.include_timeline,
+            self.ci,
+            failed,
+            read_rounds(self.directory),
         )
         written: list[Path] = []
         if self.out_dir is not None:

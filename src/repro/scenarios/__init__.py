@@ -89,10 +89,16 @@ __all__ = [
     "SweepStream",
     "StreamResult",
     "strip_costs",
+    "read_rounds",
     "PointPolicy",
     "ChaosSpec",
     "ExecutionContext",
     "resolve_executor",
+    "AdaptiveSpec",
+    "StoppingRule",
+    "HalvingSchedule",
+    "AdaptiveResult",
+    "run_adaptive",
 ]
 
 _LAZY = {
@@ -111,10 +117,16 @@ _LAZY = {
     "SweepStream": "repro.scenarios.stream",
     "StreamResult": "repro.scenarios.stream",
     "strip_costs": "repro.scenarios.stream",
+    "read_rounds": "repro.scenarios.stream",
     "PointPolicy": "repro.scenarios.policy",
     "ChaosSpec": "repro.scenarios.chaos",
     "ExecutionContext": "repro.scenarios.executors",
     "resolve_executor": "repro.scenarios.executors",
+    "AdaptiveSpec": "repro.scenarios.adaptive",
+    "StoppingRule": "repro.scenarios.adaptive",
+    "HalvingSchedule": "repro.scenarios.adaptive",
+    "AdaptiveResult": "repro.scenarios.adaptive",
+    "run_adaptive": "repro.scenarios.adaptive",
 }
 
 

@@ -10,6 +10,10 @@ Installed as the ``repro`` console script (see ``setup.py``) and runnable as
     python -m repro sweep sweep.json --stream-to out/   # durable, append-as-you-go
     python -m repro sweep sweep.json --stream-to out/ --compress --replicates 5
     python -m repro sweep sweep.json --resume out/      # re-run only missing points
+    python -m repro sweep sweep.json --stream-to out/ \
+        --halving healer_kwargs.kappa=amortized_msgs    # adaptive sweep search
+    python -m repro sweep sweep.json --stream-to out/ \
+        --target-ci amortized_msgs=0.5                  # CI-driven replicates
     python -m repro report out/ --out report/  # aggregate tables from artifacts
     python -m repro report out/ --watch        # live: tail a running sweep
     python -m repro replay run.jsonl           # bit-identical re-execution
@@ -153,6 +157,124 @@ def _check_resume_replicates(resume_dir: Path, replicates: int) -> None:
         )
 
 
+def _merge_adaptive(sweep, args):
+    """Fold the ``--target-ci`` / ``--halving`` flags into the sweep's block.
+
+    A flag overrides the corresponding field(s) of the sweep file's own rule
+    or schedule and keeps its other fields — the same field-wise merge the
+    policy flags use.
+    """
+    from dataclasses import replace
+
+    from repro.scenarios.adaptive import AdaptiveSpec, HalvingSchedule, StoppingRule
+
+    if args.target_ci and args.halving:
+        raise ValueError(
+            "--target-ci and --halving are different adaptive modes; pass one"
+        )
+    adaptive = sweep.adaptive
+    if args.target_ci:
+        metric, sep, width = args.target_ci.rpartition("=")
+        if not sep or not metric:
+            raise ValueError(
+                "--target-ci expects METRIC=WIDTH (e.g. --target-ci amortized_msgs=0.5)"
+            )
+        try:
+            width = float(width)
+        except ValueError:
+            raise ValueError(f"--target-ci width {width!r} is not a number") from None
+        rule = (
+            adaptive.stopping
+            if adaptive is not None and adaptive.stopping is not None
+            else StoppingRule(metric=metric, target_half_width=width)
+        )
+        rule = replace(rule, metric=metric, target_half_width=width)
+        return replace(sweep, adaptive=AdaptiveSpec(stopping=rule))
+    if args.halving:
+        axis, sep, objective = args.halving.partition("=")
+        if not sep or not axis or not objective:
+            raise ValueError(
+                "--halving expects AXIS=OBJECTIVE "
+                "(e.g. --halving healer_kwargs.kappa=amortized_msgs)"
+            )
+        schedule = (
+            adaptive.halving
+            if adaptive is not None and adaptive.halving is not None
+            else HalvingSchedule(axis=axis, objective=objective)
+        )
+        schedule = replace(schedule, axis=axis, objective=objective)
+        return replace(sweep, adaptive=AdaptiveSpec(halving=schedule))
+    return sweep
+
+
+def _cmd_sweep_adaptive(args, sweep, policy, executor) -> int:
+    """The adaptive branch of ``repro sweep``: round-scheduled execution."""
+    from repro.scenarios.adaptive import run_adaptive
+
+    if not (args.stream_to or args.resume):
+        raise ValueError(
+            "adaptive sweeps are round-scheduled over a durable directory; "
+            "pass --stream-to DIR (or --resume DIR)"
+        )
+    if args.replicates is not None:
+        raise ValueError(
+            "--replicates conflicts with an adaptive sweep (the schedule "
+            "decides per-point replicate counts)"
+        )
+    directory = Path(args.stream_to or args.resume)
+    mode = sweep.adaptive.mode
+    print(f"adaptive sweep {sweep.label}: mode={mode}, workers={args.workers}")
+
+    def on_round(entry: dict) -> None:
+        if entry["mode"] == "halving":
+            budget = entry.get("budget", {})
+            steps = (
+                f" timesteps={budget.get('timesteps')}"
+                if budget.get("timesteps")
+                else ""
+            )
+            print(
+                f"[round {entry['round']}] replicates={budget.get('replicates')}"
+                f"{steps} arms={len(entry.get('scores', []))} -> "
+                f"survivors={len(entry.get('survivors', []))}"
+            )
+        else:
+            statuses = [d.get("status") for d in entry.get("decisions", [])]
+            print(
+                f"[round {entry['round']}] active={len(statuses)} "
+                f"converged={statuses.count('converged')} "
+                f"exhausted={statuses.count('exhausted')} "
+                f"continuing={statuses.count('continue')}"
+            )
+
+    try:
+        result = run_adaptive(
+            sweep,
+            directory,
+            workers=args.workers,
+            compress=True if args.compress else None,
+            policy=policy,
+            retry_failed=args.retry_failed,
+            executor=executor,
+            resume=args.resume is not None,
+            on_round=on_round,
+        )
+    except KeyboardInterrupt:
+        print(
+            f"\ninterrupted: completed points and rounds are safe in {directory}/; "
+            f"continue with: repro sweep {args.sweep} --resume {directory}",
+            file=sys.stderr,
+        )
+        return 130
+    print(
+        f"adaptive {mode}: {len(result.rounds)} round(s), {len(result.specs)} "
+        f"points (executed {result.executed}, resumed {result.skipped}); "
+        f"saved {result.points_saved} of {result.exhaustive_points} "
+        f"exhaustive points"
+    )
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     from dataclasses import replace
 
@@ -166,7 +288,13 @@ def _cmd_sweep(args) -> int:
         # "max_workers must be greater than 0" traceback names no flag.
         raise ValueError(f"--workers must be at least 1 (got {args.workers})")
     sweep = SweepSpec.from_json(Path(args.sweep).read_text(encoding="utf-8"))
-    if args.replicates is not None:
+    sweep = _merge_adaptive(sweep, args)
+    if args.adaptive and sweep.adaptive is None:
+        raise ValueError(
+            "--adaptive needs an 'adaptive' block in the sweep file, or an "
+            "explicit --target-ci METRIC=WIDTH / --halving AXIS=OBJECTIVE"
+        )
+    if args.replicates is not None and sweep.adaptive is None:
         sweep = replace(sweep, replicates=args.replicates)
     # The sweep file's policy is the base; explicit flags override field-wise.
     policy = (sweep.policy or PointPolicy()).merged_with(
@@ -174,8 +302,6 @@ def _cmd_sweep(args) -> int:
     )
     # The sweep file's executor is the default; --executor overrides it.
     executor = args.executor if args.executor is not None else sweep.executor
-    specs = sweep.expand()
-    print(f"sweep {sweep.label}: {len(specs)} points, workers={args.workers}")
     if args.artifact_dir and (args.stream_to or args.resume):
         raise ValueError(
             "--artifact-dir buffers in memory; it cannot be combined with "
@@ -186,6 +312,13 @@ def _cmd_sweep(args) -> int:
         raise ValueError("--compress only applies to --stream-to/--resume sweeps")
     if args.retry_failed and not args.resume:
         raise ValueError("--retry-failed only applies to --resume sweeps")
+    if sweep.adaptive is not None:
+        # Round-scheduled execution; the schedule decides the point set, so
+        # there is no grid to expand (and the replicate-count resume guard
+        # does not apply — adaptive directories legitimately mix counts).
+        return _cmd_sweep_adaptive(args, sweep, policy, executor)
+    specs = sweep.expand()
+    print(f"sweep {sweep.label}: {len(specs)} points, workers={args.workers}")
     if args.stream_to or args.resume:
         # Streamed mode: nothing is buffered, each finished point lands on
         # disk durably, and a resumed run executes only the missing points.
@@ -406,6 +539,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --resume: re-offer previously quarantined points with a "
         "fresh attempt budget (by default resume skips them)",
+    )
+    sweep_parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="run the sweep file's 'adaptive' block (round-scheduled "
+        "replicate stopping or successive halving; requires "
+        "--stream-to/--resume). A file carrying the block runs adaptively "
+        "even without this flag",
+    )
+    sweep_parser.add_argument(
+        "--target-ci",
+        metavar="METRIC=WIDTH",
+        default=None,
+        help="adaptive replicate stopping: grow each point's [rep=k] "
+        "replicates until the bootstrap 95%% CI half-width of METRIC is "
+        "<= WIDTH (overrides the sweep file's stopping rule field-wise)",
+    )
+    sweep_parser.add_argument(
+        "--halving",
+        metavar="AXIS=OBJECTIVE",
+        default=None,
+        help="adaptive successive halving: run all values of AXIS at a small "
+        "budget, keep the best fraction by the OBJECTIVE summary column, "
+        "grow the budget, repeat (overrides the sweep file's halving "
+        "schedule field-wise)",
     )
     sweep_parser.set_defaults(func=_cmd_sweep)
 

@@ -632,7 +632,36 @@ def run_sweep(
     The sweep file's own ``policy`` applies unless an explicit ``policy``
     argument overrides it wholesale; likewise its ``executor`` unless an
     explicit ``executor`` argument names a backend.
+
+    A sweep carrying an ``adaptive`` block is round-scheduled through
+    :func:`~repro.scenarios.adaptive.run_adaptive` instead of expanding the
+    full grid — it requires a durable directory (``stream_to``/``resume``)
+    and returns an :class:`~repro.scenarios.adaptive.AdaptiveResult`.
     """
+    if getattr(sweep, "adaptive", None) is not None:
+        require(
+            stream_to is not None or resume is not None,
+            "adaptive sweeps are round-scheduled over a durable directory; "
+            "pass stream_to=<dir> (or resume=<dir>)",
+        )
+        require(
+            stream_to is None
+            or resume is None
+            or Path(stream_to) == Path(resume),
+            "stream_to and resume must name the same directory when both are given",
+        )
+        from repro.scenarios.adaptive import run_adaptive
+
+        return run_adaptive(
+            sweep,
+            directory=resume if resume is not None else stream_to,
+            workers=workers,
+            compress=compress,
+            policy=policy,
+            retry_failed=retry_failed,
+            executor=executor,
+            resume=resume is not None,
+        )
     return run_scenarios(
         sweep.expand(),
         workers=workers,

@@ -10,6 +10,9 @@ A streamed sweep writes one directory::
                                   index lines (the subprocess fleet)
     <dir>/failures.jsonl          append-only quarantine ledger (points that
                                   exhausted their retry budget; often absent)
+    <dir>/rounds.jsonl            append-only adaptive-round ledger (decision
+                                  per round of an adaptive sweep; absent for
+                                  plain grids)
     <dir>/MANIFEST.json           canonical manifest, written on completion
 
 Durability protocol, per finished point:
@@ -56,6 +59,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import re
 import time
@@ -125,6 +129,65 @@ def iter_all_index_entries(directory: Path):
     """
     for path in index_paths(directory):
         yield from iter_index_entries(path)
+
+#: Append-only adaptive-round ledger (``rounds.jsonl``): one fsync'd line per
+#: completed adaptive round, recording the round's budget and its decisions
+#: (survivors, converged/exhausted points).  Written by
+#: :mod:`repro.scenarios.adaptive`; contains no timing data, so interrupted
+#: and uninterrupted adaptive runs produce byte-identical ledgers.
+ROUNDS_NAME = "rounds.jsonl"
+
+
+def rounds_path(directory: Path) -> Path:
+    """Return the adaptive-round ledger's path inside a stream directory."""
+    return Path(directory) / ROUNDS_NAME
+
+
+def read_rounds(directory: Path) -> list[dict]:
+    """Return the round ledger's entries in append (= round) order.
+
+    Torn tails and unparseable lines are tolerated exactly like the index
+    scan — a crash mid-append loses at most the line being written, and the
+    resumed driver re-derives and re-appends it.
+    """
+    return list(iter_index_entries(rounds_path(directory)))
+
+
+def record_round(directory: Path, entry: dict) -> dict:
+    """Durably append one adaptive-round decision, or verify its replay.
+
+    The ledger is append-only and per-line fsync'd like the index.  A
+    resumed adaptive run re-derives every round's decision from the recorded
+    summary rows; when the ledger already holds this round, the re-derived
+    entry must match the recorded one exactly — a divergence means the
+    directory was produced under a different adaptive configuration (or
+    edited), and refusing loudly beats silently forking the schedule.
+    """
+    require(
+        isinstance(entry.get("round"), int) and not isinstance(entry.get("round"), bool),
+        "a round entry must carry an integer 'round' number",
+    )
+    # Compare through a JSON round-trip so the in-memory entry and its
+    # recorded line are held to the same representation (tuples vs lists,
+    # float formatting).
+    canonical = json.loads(json.dumps(entry, sort_keys=True))
+    for recorded in read_rounds(directory):
+        if recorded.get("round") == entry["round"]:
+            require(
+                recorded == canonical,
+                f"{rounds_path(directory)} already records round "
+                f"{entry['round']} with a different decision; this directory "
+                f"was produced under a different adaptive configuration — "
+                f"refusing to diverge from its recorded schedule",
+            )
+            return canonical
+    path = rounds_path(directory)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    return canonical
+
 
 #: Append-only quarantine ledger: one fsync'd line per point that exhausted
 #: its retry budget (fingerprint, attempts, exception repr, wall clock).
@@ -358,7 +421,19 @@ class SweepStream:
         path = self.directory / artifact_name(index, record.spec.label, self.compress)
         data = run_bytes(record, compress=self.compress)
         _write_durable(path, data)
-        timesteps = record.spec.timesteps
+        # Cost accounting divides by the steps the run *executed* (the
+        # summary's ``steps`` column), not the steps the spec requested: a
+        # run truncated early (an adversary that ran out of events, a
+        # min-nodes stop) would otherwise under-report its per-step cost.
+        # A run that stopped at step 0 executed nothing divisible — its
+        # step cost is None, never a ZeroDivisionError or inf.
+        timesteps = record.summary.get("steps")
+        if not (
+            isinstance(timesteps, int)
+            and not isinstance(timesteps, bool)
+            and timesteps >= 0
+        ):
+            timesteps = record.spec.timesteps
         entry = {
             "index": index,
             "fingerprint": fingerprint,
@@ -606,7 +681,17 @@ def order_most_expensive_first(spec_list, fingerprints, completed, todo):
     for index, fingerprint in enumerate(fingerprints):
         entry = completed.get(fingerprint)
         cost = entry.get("wall_clock_s") if entry else None
-        if isinstance(cost, (int, float)) and not isinstance(cost, bool):
+        # A torn or hand-edited index line can carry any JSON number — NaN,
+        # inf, or a negative — and a single such entry would otherwise poison
+        # every neighbor estimate (NaN propagates through the mean; -inf
+        # pins its neighbors last).  Costs are wall clocks: finite and
+        # non-negative, or ignored.
+        if (
+            isinstance(cost, (int, float))
+            and not isinstance(cost, bool)
+            and math.isfinite(cost)
+            and cost >= 0.0
+        ):
             known[index] = float(cost)
     todo = list(todo)
     if not known or not todo:

@@ -73,6 +73,42 @@ def split_replicate(label: str | None) -> tuple[str | None, int | None]:
     return label[: match.start()], int(match.group(1))
 
 
+def assignment_canonical(assignment: dict) -> str:
+    """Return the canonical JSON encoding of one axis assignment.
+
+    This string is the seed-derivation label shared by :meth:`SweepSpec.expand`
+    and the adaptive round driver (:mod:`repro.scenarios.adaptive`), so a
+    replicate's seed never depends on which of the two materialized it.
+    """
+    return json.dumps(assignment, sort_keys=True)
+
+
+def point_label(label: str, assignment: dict) -> str:
+    """Return the base (replicate-free) name of one grid point."""
+    suffix = ",".join(f"{key}={assignment[key]}" for key in sorted(assignment))
+    return f"{label}[{suffix}]" if suffix else label
+
+
+def replicate_spec(base: ScenarioSpec, label: str, assignment: dict, rep: int) -> ScenarioSpec:
+    """Materialize replicate ``rep`` of one grid point.
+
+    The single definition of replicate identity: the name carries the
+    ``[rep=N]`` marker and the seed derives from the base seed, the canonical
+    assignment and the replicate id — so an ``expand()`` grid and an adaptive
+    round that reach the same ``(assignment, rep)`` produce the same
+    fingerprint and can resume each other's recorded artifacts.
+    """
+    spec = base
+    for key in sorted(assignment):
+        spec = apply_axis(spec, key, assignment[key])
+    return spec.with_overrides(
+        name=f"{point_label(label, assignment)}[rep={rep}]",
+        seed=derive_seed(
+            base.seed, "sweep", assignment_canonical(assignment), "replicate", rep
+        ),
+    )
+
+
 def _axis_targets() -> set[str]:
     """Return the top-level spec fields an axis may address directly."""
     return {f.name for f in fields(ScenarioSpec)} - set(_KWARGS_FIELDS) - {"name"}
@@ -156,6 +192,17 @@ class SweepSpec:
         ``policy``: it never enters the expanded specs or their
         fingerprints, so any backend can resume a sweep started under any
         other.  ``repro sweep --executor`` overrides it.
+    adaptive:
+        Optional :class:`~repro.scenarios.adaptive.AdaptiveSpec` declaring a
+        round-structured schedule (CI-driven replicate stopping, or
+        successive halving over one axis).  Like ``policy``/``executor`` it
+        is omitted from :meth:`to_dict` when unset, so pre-existing sweep
+        documents keep their schema and fingerprints; unlike them it *does*
+        change what runs — ``run_sweep``/``repro sweep`` route an adaptive
+        sweep through :func:`~repro.scenarios.adaptive.run_adaptive` instead
+        of expanding the full grid.  Adaptive sweeps manage per-point
+        replicate counts themselves, so ``replicates`` must stay 1 and a
+        ``seed`` axis is rejected.
     """
 
     base: ScenarioSpec
@@ -165,6 +212,7 @@ class SweepSpec:
     replicates: int = 1
     policy: PointPolicy | None = None
     executor: str | None = None
+    adaptive: "object | None" = None
 
     @property
     def label(self) -> str:
@@ -180,7 +228,7 @@ class SweepSpec:
         )
         require(self.replicates >= 1, "replicates must be at least 1")
         require(
-            bool(self.axes) or self.replicates > 1,
+            bool(self.axes) or self.replicates > 1 or self.adaptive is not None,
             "a sweep needs at least one axis (or replicates > 1)",
         )
         require(
@@ -188,6 +236,18 @@ class SweepSpec:
             "replicates > 1 derives a seed per replicate; it cannot be combined "
             "with a 'seed' axis — sweep the seed or replicate, not both",
         )
+        if self.adaptive is not None:
+            require(
+                self.replicates == 1,
+                "adaptive sweeps manage per-point replicate counts themselves; "
+                "leave replicates at 1",
+            )
+            require(
+                "seed" not in self.axes,
+                "adaptive sweeps derive replicate seeds; they cannot be combined "
+                "with a 'seed' axis",
+            )
+            self.adaptive.validate(self)
         if self.policy is not None:
             self.policy.validate()
         if self.executor is not None:
@@ -226,27 +286,21 @@ class SweepSpec:
         specs: list[ScenarioSpec] = []
         sweeps_seed = any(key == "seed" for key in self.axes)
         for assignment in self.points():
+            if self.replicates > 1:
+                specs.extend(
+                    replicate_spec(self.base, self.label, assignment, rep)
+                    for rep in range(self.replicates)
+                )
+                continue
             spec = self.base
             for key, value in assignment.items():
                 spec = apply_axis(spec, key, value)
-            suffix = ",".join(f"{key}={value}" for key, value in assignment.items())
-            point_name = f"{self.label}[{suffix}]" if suffix else self.label
-            canonical = json.dumps(assignment, sort_keys=True)
-            if self.replicates == 1:
-                overrides: dict = {"name": point_name}
-                if self.derive_seeds and not sweeps_seed:
-                    overrides["seed"] = derive_seed(self.base.seed, "sweep", canonical)
-                specs.append(spec.with_overrides(**overrides))
-                continue
-            for rep in range(self.replicates):
-                specs.append(
-                    spec.with_overrides(
-                        name=f"{point_name}[rep={rep}]",
-                        seed=derive_seed(
-                            self.base.seed, "sweep", canonical, "replicate", rep
-                        ),
-                    )
+            overrides: dict = {"name": point_label(self.label, assignment)}
+            if self.derive_seeds and not sweeps_seed:
+                overrides["seed"] = derive_seed(
+                    self.base.seed, "sweep", assignment_canonical(assignment)
                 )
+            specs.append(spec.with_overrides(**overrides))
         return specs
 
     def fingerprint(self) -> str:
@@ -263,9 +317,9 @@ class SweepSpec:
     def to_dict(self) -> dict:
         """Return the sweep as a plain dict.
 
-        ``policy`` and ``executor`` are omitted when unset, so the schema
-        (and every sweep fingerprint) of documents predating them is
-        unchanged byte for byte.
+        ``policy``, ``executor`` and ``adaptive`` are omitted when unset, so
+        the schema (and every sweep fingerprint) of documents predating them
+        is unchanged byte for byte.
         """
         data = {
             "base": self.base.to_dict(),
@@ -278,16 +332,26 @@ class SweepSpec:
             data["policy"] = self.policy.to_dict()
         if self.executor is not None:
             data["executor"] = self.executor
+        if self.adaptive is not None:
+            data["adaptive"] = self.adaptive.to_dict()
         return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SweepSpec":
         """Build a sweep from a dict, rejecting unknown keys."""
-        known = {"base", "axes", "name", "derive_seeds", "replicates", "policy", "executor"}
+        known = {
+            "base", "axes", "name", "derive_seeds", "replicates", "policy",
+            "executor", "adaptive",
+        }
         unknown = sorted(set(data) - known)
         require(not unknown, f"unknown SweepSpec fields {unknown}; known fields: {sorted(known)}")
         require("base" in data and "axes" in data, "SweepSpec requires 'base' and 'axes'")
         policy = data.get("policy")
+        adaptive = data.get("adaptive")
+        if adaptive is not None:
+            from repro.scenarios.adaptive import AdaptiveSpec
+
+            adaptive = AdaptiveSpec.from_dict(adaptive)
         return cls(
             base=ScenarioSpec.from_dict(data["base"]),
             axes=dict(data["axes"]),
@@ -296,6 +360,7 @@ class SweepSpec:
             replicates=data.get("replicates", 1),
             policy=None if policy is None else PointPolicy.from_dict(policy),
             executor=data.get("executor"),
+            adaptive=adaptive,
         )
 
     def to_json(self) -> str:

@@ -1,0 +1,461 @@
+"""Adaptive sweeps: spec validation, pure decision functions, round ledger,
+and end-to-end stopping/halving schedules (ISSUE 10 tentpole).
+
+The determinism contract itself (kill-and-resume byte-identity across
+executor backends, with chaos) lives in ``tests/test_adaptive_differential.py``;
+this file covers the units it is built from.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import ScenarioSpec, SweepSpec
+from repro.scenarios.adaptive import (
+    AdaptiveSpec,
+    HalvingSchedule,
+    StoppingRule,
+    run_adaptive,
+    select_survivors,
+)
+from repro.scenarios.cli import main as cli_main
+from repro.scenarios.stream import read_rounds, record_round, rounds_path
+from repro.scenarios.sweep import point_label, replicate_spec
+from repro.util.validation import ValidationError
+
+BASE = ScenarioSpec(
+    name="adaptive-test",
+    healer="xheal",
+    healer_kwargs={"kappa": 4},
+    adversary="random",
+    adversary_kwargs={"delete_probability": 0.6},
+    topology="random-regular",
+    topology_kwargs={"n": 16, "degree": 4},
+    timesteps=4,
+    exact_expansion_limit=0,
+    stretch_sample_pairs=10,
+    seed=7,
+)
+
+STOPPING = AdaptiveSpec(
+    stopping=StoppingRule(
+        metric="amortized_msgs",
+        target_half_width=1e9,
+        min_replicates=2,
+        max_replicates=4,
+    )
+)
+
+HALVING = AdaptiveSpec(
+    halving=HalvingSchedule(
+        axis="healer_kwargs.kappa",
+        objective="amortized_msgs",
+        replicates=1,
+        timesteps=2,
+        growth=2,
+    )
+)
+
+
+# -- spec validation and round-trips ------------------------------------------
+
+
+def test_stopping_rule_validation_rejects_bad_fields():
+    with pytest.raises(ValidationError, match="metric"):
+        StoppingRule(metric="", target_half_width=1.0).validate()
+    with pytest.raises(ValidationError, match="positive finite"):
+        StoppingRule(metric="m", target_half_width=0.0).validate()
+    with pytest.raises(ValidationError, match="positive finite"):
+        StoppingRule(metric="m", target_half_width=float("nan")).validate()
+    with pytest.raises(ValidationError, match="min_replicates"):
+        StoppingRule(metric="m", target_half_width=1.0, min_replicates=1).validate()
+    with pytest.raises(ValidationError, match="max_replicates must be >="):
+        StoppingRule(
+            metric="m", target_half_width=1.0, min_replicates=5, max_replicates=3
+        ).validate()
+    with pytest.raises(ValidationError, match="batch"):
+        StoppingRule(metric="m", target_half_width=1.0, batch=0).validate()
+
+
+def test_halving_schedule_validation_rejects_bad_fields():
+    with pytest.raises(ValidationError, match="axis"):
+        HalvingSchedule(axis="", objective="m").validate()
+    with pytest.raises(ValidationError, match="keep"):
+        HalvingSchedule(axis="a", objective="m", keep=1.0).validate()
+    with pytest.raises(ValidationError, match="keep"):
+        HalvingSchedule(axis="a", objective="m", keep=0.0).validate()
+    with pytest.raises(ValidationError, match="growth"):
+        HalvingSchedule(axis="a", objective="m", growth=0).validate()
+    with pytest.raises(ValidationError, match="rounds"):
+        HalvingSchedule(axis="a", objective="m", rounds=0).validate()
+
+
+def test_adaptive_spec_declares_exactly_one_mode():
+    with pytest.raises(ValidationError, match="exactly one"):
+        AdaptiveSpec().validate()
+    with pytest.raises(ValidationError, match="exactly one"):
+        AdaptiveSpec(stopping=STOPPING.stopping, halving=HALVING.halving).validate()
+    assert STOPPING.validate().mode == "stopping"
+    assert HALVING.validate().mode == "halving"
+
+
+def test_adaptive_spec_checks_fit_with_the_sweep():
+    sweep = SweepSpec(base=BASE, axes={"timesteps": [3, 4]}, adaptive=HALVING)
+    with pytest.raises(ValidationError, match="not one of the sweep's axes"):
+        sweep.validate()
+    single = SweepSpec(
+        base=BASE, axes={"healer_kwargs.kappa": [4]}, adaptive=HALVING
+    )
+    with pytest.raises(ValidationError, match="at least two"):
+        single.validate()
+    budget_vs_axis = SweepSpec(
+        base=BASE,
+        axes={"healer_kwargs.kappa": [2, 4], "timesteps": [3, 4]},
+        adaptive=HALVING,
+    )
+    with pytest.raises(ValidationError, match="timesteps"):
+        budget_vs_axis.validate()
+    with pytest.raises(ValidationError, match="replicates"):
+        SweepSpec(
+            base=BASE,
+            axes={"healer_kwargs.kappa": [2, 4]},
+            replicates=3,
+            adaptive=HALVING,
+        ).validate()
+
+
+def test_adaptive_blocks_round_trip_through_json():
+    for adaptive in (STOPPING, HALVING):
+        sweep = SweepSpec(
+            base=BASE, axes={"healer_kwargs.kappa": [2, 4]}, adaptive=adaptive
+        )
+        restored = SweepSpec.from_json(sweep.to_json())
+        assert restored == sweep
+        assert restored.adaptive == adaptive
+    plain = SweepSpec(base=BASE, axes={"healer_kwargs.kappa": [2, 4]})
+    assert "adaptive" not in plain.to_dict()
+    assert SweepSpec.from_json(plain.to_json()).adaptive is None
+
+
+def test_adaptive_block_rejects_unknown_fields():
+    with pytest.raises(ValidationError, match="unknown"):
+        AdaptiveSpec.from_dict({"stoping": {}})
+    with pytest.raises(ValidationError, match="unknown"):
+        StoppingRule.from_dict({"metric": "m", "target_half_width": 1, "batchez": 2})
+    with pytest.raises(ValidationError, match="unknown"):
+        HalvingSchedule.from_dict({"axis": "a", "objective": "m", "grow": 3})
+
+
+def test_adaptive_block_is_fingerprint_neutral():
+    """The block schedules execution; it must not change point identity."""
+    plain = SweepSpec(base=BASE, axes={"healer_kwargs.kappa": [2, 4]})
+    adaptive = SweepSpec(
+        base=BASE, axes={"healer_kwargs.kappa": [2, 4]}, adaptive=HALVING
+    )
+    assignments = plain.points()
+    assert assignments == adaptive.points()
+    for assignment in assignments:
+        for rep in range(2):
+            assert replicate_spec(
+                plain.base, plain.label, assignment, rep
+            ).fingerprint() == replicate_spec(
+                adaptive.base, adaptive.label, assignment, rep
+            ).fingerprint()
+
+
+def test_replicate_spec_matches_exhaustive_expansion():
+    """Adaptive rounds and ``expand()`` must mint the *same* points."""
+    sweep = SweepSpec(base=BASE, axes={"healer_kwargs.kappa": [2, 4]}, replicates=3)
+    expanded = sweep.expand()
+    minted = [
+        replicate_spec(sweep.base, sweep.label, assignment, rep)
+        for assignment in sweep.points()
+        for rep in range(3)
+    ]
+    assert minted == expanded
+
+
+# -- pure decision functions ---------------------------------------------------
+
+
+def test_select_survivors_keeps_the_best_in_declared_order():
+    assert select_survivors(["a", "b", "c", "d"], [4.0, 1.0, 3.0, 2.0], 0.5) == ["b", "d"]
+    assert select_survivors(
+        ["a", "b", "c", "d"], [4.0, 1.0, 3.0, 2.0], 0.5, minimize=False
+    ) == ["a", "c"]
+
+
+def test_select_survivors_breaks_ties_by_declared_order():
+    assert select_survivors(["a", "b", "c"], [1.0, 1.0, 1.0], 0.5) == ["a", "b"]
+
+
+def test_select_survivors_always_keeps_one_and_drops_one():
+    # keep so small it rounds to zero survivors -> clamped up to one...
+    assert select_survivors(["a", "b"], [2.0, 1.0], 0.01) == ["b"]
+    # ... and so large it would keep everyone -> clamped down to n-1.
+    assert select_survivors(["a", "b", "c"], [1.0, 2.0, 3.0], 0.99) == ["a", "b"]
+    with pytest.raises(ValidationError, match="one score per arm"):
+        select_survivors([], [], 0.5)
+
+
+# -- the rounds ledger ---------------------------------------------------------
+
+
+def test_record_round_appends_and_replays(tmp_path):
+    first = record_round(tmp_path, {"round": 0, "mode": "halving", "survivors": [2]})
+    second = record_round(tmp_path, {"round": 1, "mode": "halving", "survivors": [2]})
+    assert [entry["round"] for entry in read_rounds(tmp_path)] == [0, 1]
+    # Replaying a recorded round is idempotent: same entry, no new line.
+    before = rounds_path(tmp_path).read_bytes()
+    assert record_round(tmp_path, {"round": 0, "mode": "halving", "survivors": [2]}) == first
+    assert rounds_path(tmp_path).read_bytes() == before
+    assert second["round"] == 1
+
+
+def test_record_round_refuses_to_diverge_from_the_ledger(tmp_path):
+    record_round(tmp_path, {"round": 0, "mode": "halving", "survivors": [2]})
+    with pytest.raises(ValidationError, match="refusing to diverge"):
+        record_round(tmp_path, {"round": 0, "mode": "halving", "survivors": [4]})
+
+
+def test_record_round_requires_an_integer_round(tmp_path):
+    with pytest.raises(ValidationError):
+        record_round(tmp_path, {"round": True, "mode": "halving"})
+    with pytest.raises(ValidationError):
+        record_round(tmp_path, {"mode": "halving"})
+
+
+# -- end-to-end schedules ------------------------------------------------------
+
+
+def test_stopping_with_a_huge_target_stops_at_min_replicates(tmp_path):
+    sweep = SweepSpec(
+        base=BASE, axes={"healer_kwargs.kappa": [2, 4]}, adaptive=STOPPING
+    )
+    result = run_adaptive(sweep, tmp_path / "dir")
+    assert result.mode == "stopping"
+    assert len(result.rounds) == 1
+    decisions = result.rounds[0]["decisions"]
+    assert [d["status"] for d in decisions] == ["converged", "converged"]
+    assert [d["replicates"] for d in decisions] == [2, 2]
+    # 2 points x min 2 replicates ran; the exhaustive grid is 2 x max 4.
+    assert len(result.specs) == 4
+    assert result.executed == 4 and result.skipped == 0
+    assert result.exhaustive_points == 8 and result.points_saved == 4
+    manifest = json.loads((tmp_path / "dir" / "MANIFEST.json").read_text())
+    assert manifest["points"] == 4
+
+
+def test_stopping_with_an_impossible_target_exhausts_the_budget(tmp_path):
+    # min_replicates=3: with only two replicates the kappa=2 point's metric
+    # values coincide exactly, giving a legitimately zero-width CI.
+    rule = StoppingRule(
+        metric="amortized_msgs",
+        target_half_width=1e-12,
+        min_replicates=3,
+        max_replicates=5,
+        batch=1,
+    )
+    sweep = SweepSpec(
+        base=BASE,
+        axes={"healer_kwargs.kappa": [2, 4]},
+        adaptive=AdaptiveSpec(stopping=rule),
+    )
+    result = run_adaptive(sweep, tmp_path / "dir")
+    # Replicates per point grow 3 -> 4 -> 5, then every point is exhausted.
+    assert [entry["round"] for entry in result.rounds] == [0, 1, 2]
+    final = result.rounds[-1]["decisions"]
+    assert len(final) == 2
+    assert all(d["status"] == "exhausted" for d in final)
+    assert all(d["replicates"] == 5 for d in final)
+    assert len(result.specs) == 10 and result.points_saved == 0
+
+
+def test_stopping_reports_the_same_ci_the_report_renders(tmp_path):
+    """The stopping oracle IS the report's seeded bootstrap, by construction."""
+    from repro.analysis.report import generate_report
+
+    sweep = SweepSpec(
+        base=BASE, axes={"healer_kwargs.kappa": [2, 4]}, adaptive=STOPPING
+    )
+    result = run_adaptive(sweep, tmp_path / "dir")
+    report = generate_report(tmp_path / "dir", ci=True, include_timeline=False)
+    for decision in result.rounds[-1]["decisions"]:
+        low, high = decision["ci_low"], decision["ci_high"]
+        assert f"[{low:.4g}, {high:.4g}]" in report.markdown
+
+
+def test_halving_eliminates_down_to_one_arm(tmp_path):
+    sweep = SweepSpec(
+        base=BASE, axes={"healer_kwargs.kappa": [2, 3, 4]}, adaptive=HALVING
+    )
+    result = run_adaptive(sweep, tmp_path / "dir")
+    assert result.mode == "halving"
+    arms = [len(entry["scores"]) for entry in result.rounds]
+    assert arms == sorted(arms, reverse=True) and arms[-1] == 1
+    # Budgets grow geometrically and the final round keeps its single arm.
+    budgets = [entry["budget"] for entry in result.rounds]
+    assert [b["replicates"] for b in budgets] == [2**r for r in range(len(budgets))]
+    assert [b["timesteps"] for b in budgets] == [2 * 2**r for r in range(len(budgets))]
+    assert len(result.rounds[-1]["survivors"]) == 1
+    assert result.points_saved > 0
+    # Every decided point is recorded and covered by the manifest.
+    manifest = json.loads((tmp_path / "dir" / "MANIFEST.json").read_text())
+    assert manifest["points"] == len(result.specs)
+    assert {e["fingerprint"] for e in manifest["entries"]} == {
+        spec.fingerprint() for spec in result.specs
+    }
+
+
+def test_halving_respects_a_round_cap_and_never_eliminates_last(tmp_path):
+    schedule = HalvingSchedule(
+        axis="healer_kwargs.kappa",
+        objective="amortized_msgs",
+        replicates=1,
+        rounds=1,
+    )
+    sweep = SweepSpec(
+        base=BASE,
+        axes={"healer_kwargs.kappa": [2, 3, 4]},
+        adaptive=AdaptiveSpec(halving=schedule),
+    )
+    result = run_adaptive(sweep, tmp_path / "dir")
+    assert len(result.rounds) == 1
+    assert result.rounds[0]["survivors"] == [2, 3, 4]
+
+
+def test_halving_carries_other_axes_through_every_round(tmp_path):
+    schedule = HalvingSchedule(
+        axis="healer_kwargs.kappa", objective="amortized_msgs", rounds=2
+    )
+    sweep = SweepSpec(
+        base=BASE,
+        axes={"healer_kwargs.kappa": [2, 4], "metric_every": [1, 2]},
+        adaptive=AdaptiveSpec(halving=schedule),
+    )
+    result = run_adaptive(sweep, tmp_path / "dir")
+    # Round 0: 2 arms x 2 metric_every points; round 1: 1 arm x 2 at 2 reps.
+    assert result.rounds[0]["scores"][0]["points"] == 2
+    survivors = result.rounds[0]["survivors"]
+    assert len(survivors) == 1
+    names = {spec.name for spec in result.specs}
+    for metric_every in (1, 2):
+        assignment = {
+            "healer_kwargs.kappa": survivors[0],
+            "metric_every": metric_every,
+        }
+        assert f"{point_label(sweep.label, assignment)}[rep=1]" in names
+
+
+def test_fresh_adaptive_run_refuses_a_populated_directory(tmp_path):
+    sweep = SweepSpec(
+        base=BASE, axes={"healer_kwargs.kappa": [2, 4]}, adaptive=STOPPING
+    )
+    run_adaptive(sweep, tmp_path / "dir")
+    with pytest.raises(ValidationError, match="resume"):
+        run_adaptive(sweep, tmp_path / "dir")
+    # resume=True replays the whole schedule without executing anything.
+    replay = run_adaptive(sweep, tmp_path / "dir", resume=True)
+    assert replay.executed == 0 and replay.skipped == len(replay.specs)
+
+
+def test_resuming_a_different_adaptive_sweep_warns_about_orphans(tmp_path):
+    sweep = SweepSpec(
+        base=BASE, axes={"healer_kwargs.kappa": [2, 4]}, adaptive=STOPPING
+    )
+    run_adaptive(sweep, tmp_path / "dir")
+    (rounds_path(tmp_path / "dir")).unlink()
+    other = SweepSpec(
+        base=BASE.with_overrides(seed=8),
+        axes={"healer_kwargs.kappa": [2, 4]},
+        adaptive=STOPPING,
+    )
+    with pytest.warns(RuntimeWarning, match="not part of this adaptive schedule"):
+        run_adaptive(other, tmp_path / "dir", resume=True)
+
+
+# -- CLI flag plumbing ---------------------------------------------------------
+
+
+@pytest.fixture
+def sweep_file(tmp_path) -> Path:
+    path = tmp_path / "sweep.json"
+    path.write_text(
+        SweepSpec(base=BASE, axes={"healer_kwargs.kappa": [2, 4]}).to_json()
+    )
+    return path
+
+
+def test_cli_halving_flag_runs_an_adaptive_sweep(sweep_file, tmp_path, capsys):
+    code = cli_main(
+        [
+            "sweep",
+            str(sweep_file),
+            "--halving",
+            "healer_kwargs.kappa=amortized_msgs",
+            "--stream-to",
+            str(tmp_path / "out"),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mode=halving" in out and "adaptive halving:" in out
+    assert (tmp_path / "out" / "rounds.jsonl").is_file()
+
+
+def test_cli_target_ci_flag_runs_a_stopping_sweep(sweep_file, tmp_path, capsys):
+    code = cli_main(
+        [
+            "sweep",
+            str(sweep_file),
+            "--target-ci",
+            "amortized_msgs=1e9",
+            "--stream-to",
+            str(tmp_path / "out"),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mode=stopping" in out
+    assert [entry["mode"] for entry in read_rounds(tmp_path / "out")] == ["stopping"]
+
+
+def test_cli_adaptive_rejects_contradictory_flags(sweep_file, tmp_path, capsys):
+    out_dir = str(tmp_path / "out")
+    cases = [
+        # adaptive sweeps need a durable directory to round-schedule over
+        (["sweep", str(sweep_file), "--halving", "healer_kwargs.kappa=amortized_msgs"], "--stream-to"),
+        # --adaptive alone needs a block in the file
+        (["sweep", str(sweep_file), "--adaptive", "--stream-to", out_dir], "adaptive"),
+        # the two modes are mutually exclusive
+        (
+            [
+                "sweep", str(sweep_file),
+                "--halving", "healer_kwargs.kappa=amortized_msgs",
+                "--target-ci", "amortized_msgs=1",
+                "--stream-to", out_dir,
+            ],
+            "one",
+        ),
+        # the schedule owns replicate counts
+        (
+            [
+                "sweep", str(sweep_file),
+                "--halving", "healer_kwargs.kappa=amortized_msgs",
+                "--replicates", "3",
+                "--stream-to", out_dir,
+            ],
+            "--replicates",
+        ),
+        # malformed flag values
+        (["sweep", str(sweep_file), "--target-ci", "amortized_msgs", "--stream-to", out_dir], "METRIC=WIDTH"),
+        (["sweep", str(sweep_file), "--target-ci", "amortized_msgs=wide", "--stream-to", out_dir], "number"),
+        (["sweep", str(sweep_file), "--halving", "kappa", "--stream-to", out_dir], "AXIS=OBJECTIVE"),
+    ]
+    for argv, needle in cases:
+        assert cli_main(argv) == 2, argv
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and needle in err, (argv, err)

@@ -1,0 +1,222 @@
+"""Adaptive-sweep determinism contract (ISSUE 10): a killed-and-resumed
+adaptive sweep makes byte-identical round decisions and produces
+byte-identical artifacts, ledger and report — on any executor backend,
+with chaos faults injected.
+
+Every decision is a pure function of recorded results + derived seeds, so
+the comparison baseline is always the clean, uninterrupted serial run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import generate_report
+from repro.scenarios import ScenarioSpec, SweepSpec
+from repro.scenarios.adaptive import (
+    AdaptiveSpec,
+    HalvingSchedule,
+    StoppingRule,
+    run_adaptive,
+)
+from repro.scenarios.chaos import ENV_VAR, ChaosSpec
+from repro.scenarios.policy import PointPolicy
+from repro.scenarios.stream import (
+    FAILURES_NAME,
+    MANIFEST_NAME,
+    ROUNDS_NAME,
+    is_index_name,
+    strip_costs,
+)
+
+BACKENDS = ("serial", "process-pool", "subprocess-fleet")
+
+BASE = ScenarioSpec(
+    name="adaptive-diff",
+    healer="xheal",
+    healer_kwargs={"kappa": 4},
+    adversary="random",
+    adversary_kwargs={"delete_probability": 0.6},
+    topology="random-regular",
+    topology_kwargs={"n": 16, "degree": 4},
+    timesteps=4,
+    exact_expansion_limit=0,
+    stretch_sample_pairs=10,
+    seed=7,
+)
+
+HALVING_SWEEP = SweepSpec(
+    base=BASE,
+    axes={"healer_kwargs.kappa": [2, 3, 4]},
+    adaptive=AdaptiveSpec(
+        halving=HalvingSchedule(
+            axis="healer_kwargs.kappa",
+            objective="amortized_msgs",
+            replicates=1,
+            timesteps=2,
+            growth=2,
+        )
+    ),
+)
+
+STOPPING_SWEEP = SweepSpec(
+    base=BASE,
+    axes={"healer_kwargs.kappa": [2, 4]},
+    adaptive=AdaptiveSpec(
+        stopping=StoppingRule(
+            metric="amortized_msgs",
+            target_half_width=2.0,
+            min_replicates=2,
+            max_replicates=4,
+        )
+    ),
+)
+
+#: Same fault mix as test_executors.py; seed 7 gives every point of
+#: STOPPING_SWEEP a clean attempt within 2 retries (seed 43's schedule
+#: needs 4 for these fingerprints).
+CHAOS = ChaosSpec(crash_prob=0.3, raise_prob=0.25, torn_write_prob=0.25, seed=7)
+
+
+def canonical_files(directory: Path):
+    """Byte-identity surface of an adaptive sweep directory.
+
+    Artifacts and ``rounds.jsonl`` compare byte-for-byte (the ledger is part
+    of the determinism contract); completion logs and the quarantine ledger
+    are operational history and excluded; the manifest participates through
+    :func:`strip_costs`.
+    """
+    directory = Path(directory)
+    files = {
+        path.name: path.read_bytes()
+        for path in directory.iterdir()
+        if not is_index_name(path.name)
+        and path.name not in (MANIFEST_NAME, FAILURES_NAME)
+        and not path.name.startswith(".")
+    }
+    manifest = directory / MANIFEST_NAME
+    if manifest.is_file():
+        files[MANIFEST_NAME] = strip_costs(json.loads(manifest.read_text()))
+    return files
+
+
+def report_markdown(directory: Path) -> str:
+    """The report body — the title line names the directory, so drop it."""
+    markdown = generate_report(directory, ci=True, include_timeline=False).markdown
+    return markdown.split("\n", 1)[1]
+
+
+class _KilledBetweenRounds(Exception):
+    pass
+
+
+@pytest.mark.parametrize("sweep", [HALVING_SWEEP, STOPPING_SWEEP], ids=["halving", "stopping"])
+def test_kill_between_rounds_and_resume_is_byte_identical(tmp_path, sweep):
+    clean = run_adaptive(sweep, tmp_path / "clean")
+    assert len(clean.rounds) > 1
+
+    def kill_after_first_round(entry):
+        if entry["round"] == 0:
+            raise _KilledBetweenRounds
+
+    with pytest.raises(_KilledBetweenRounds):
+        run_adaptive(sweep, tmp_path / "crash", on_round=kill_after_first_round)
+    # Round 0's decision is already durable in the ledger...
+    assert (tmp_path / "crash" / ROUNDS_NAME).is_file()
+    resumed = run_adaptive(sweep, tmp_path / "crash", resume=True)
+    # ... and the resume replays it (verifying against the ledger), then
+    # continues: identical decisions, artifacts, ledger bytes and report.
+    assert resumed.rounds == clean.rounds
+    assert [s.fingerprint() for s in resumed.specs] == [
+        s.fingerprint() for s in clean.specs
+    ]
+    assert resumed.executed + resumed.skipped == len(clean.specs)
+    assert canonical_files(tmp_path / "clean") == canonical_files(tmp_path / "crash")
+    assert (tmp_path / "crash" / ROUNDS_NAME).read_bytes() == (
+        tmp_path / "clean" / ROUNDS_NAME
+    ).read_bytes()
+    assert report_markdown(tmp_path / "crash") == report_markdown(tmp_path / "clean")
+
+
+def test_kill_mid_round_and_resume_is_byte_identical(tmp_path, monkeypatch):
+    """A crash *inside* a round leaves durable partial artifacts; the resume
+    re-derives the same round from the sweep document and finishes it."""
+    import repro.scenarios.runner as runner_module
+
+    clean = run_adaptive(STOPPING_SWEEP, tmp_path / "clean")
+    calls = []
+    real = runner_module.execute_spec
+
+    def dying_execute(spec):
+        if len(calls) == 2:
+            raise KeyboardInterrupt
+        calls.append(spec.name)
+        return real(spec)
+
+    monkeypatch.setattr(runner_module, "execute_spec", dying_execute)
+    with pytest.raises(KeyboardInterrupt):
+        run_adaptive(STOPPING_SWEEP, tmp_path / "crash")
+    monkeypatch.setattr(runner_module, "execute_spec", real)
+    assert len(calls) == 2  # died with round 0 half-recorded, no ledger entry
+    assert not (tmp_path / "crash" / ROUNDS_NAME).exists()
+
+    resumed = run_adaptive(STOPPING_SWEEP, tmp_path / "crash", resume=True)
+    assert resumed.skipped == 2 and resumed.executed == len(clean.specs) - 2
+    assert resumed.rounds == clean.rounds
+    assert canonical_files(tmp_path / "clean") == canonical_files(tmp_path / "crash")
+    assert report_markdown(tmp_path / "crash") == report_markdown(tmp_path / "clean")
+
+
+def test_every_backend_derives_identical_schedules_and_bytes(tmp_path):
+    surfaces = {}
+    ledgers = {}
+    for name in BACKENDS:
+        result = run_adaptive(
+            HALVING_SWEEP, tmp_path / name, workers=2, executor=name
+        )
+        assert result.executed == len(result.specs)
+        surfaces[name] = canonical_files(tmp_path / name)
+        ledgers[name] = (tmp_path / name / ROUNDS_NAME).read_bytes()
+    assert surfaces["serial"] == surfaces["process-pool"] == surfaces["subprocess-fleet"]
+    assert ledgers["serial"] == ledgers["process-pool"] == ledgers["subprocess-fleet"]
+
+
+def test_chaos_faults_do_not_change_adaptive_decisions(tmp_path, monkeypatch):
+    """Crash/raise/torn-write faults on the fleet retry to convergence and
+    leave the schedule — and every byte — equal to the fault-free run."""
+    clean = run_adaptive(STOPPING_SWEEP, tmp_path / "clean")
+    monkeypatch.setenv(ENV_VAR, CHAOS.to_json())
+    chaotic = run_adaptive(
+        STOPPING_SWEEP,
+        tmp_path / "chaos",
+        workers=2,
+        executor="subprocess-fleet",
+        policy=PointPolicy(max_retries=3),
+    )
+    assert chaotic.rounds == clean.rounds
+    assert canonical_files(tmp_path / "clean") == canonical_files(tmp_path / "chaos")
+    assert report_markdown(tmp_path / "chaos") == report_markdown(tmp_path / "clean")
+
+
+def test_resume_switches_backends_without_changing_bytes(tmp_path):
+    """Start serial, die between rounds, finish on the subprocess fleet."""
+    clean = run_adaptive(HALVING_SWEEP, tmp_path / "clean")
+
+    def kill_after_first_round(entry):
+        if entry["round"] == 0:
+            raise _KilledBetweenRounds
+
+    with pytest.raises(_KilledBetweenRounds):
+        run_adaptive(HALVING_SWEEP, tmp_path / "crash", on_round=kill_after_first_round)
+    resumed = run_adaptive(
+        HALVING_SWEEP,
+        tmp_path / "crash",
+        workers=2,
+        executor="subprocess-fleet",
+        resume=True,
+    )
+    assert resumed.rounds == clean.rounds
+    assert canonical_files(tmp_path / "clean") == canonical_files(tmp_path / "crash")

@@ -178,6 +178,30 @@ def test_flatten_dotted_and_detect_axes_units():
     assert axes == {"kappa": [2, 4]}
 
 
+def test_bootstrap_ci_seed_labels_cannot_collide():
+    """ISSUE 10 bugfix: the resampler seed must encode its labels
+    unambiguously.  The old colon-join made ("a:b", "c") and ("a", "b:c")
+    the same stream, so a point named like another point's point+metric
+    join shared its resamples."""
+    from repro.analysis.report import bootstrap_ci
+
+    values = [1.0, 2.0, 3.0, 4.0, 5.0, 100.0]
+    assert bootstrap_ci(values, "a:b", "c") != bootstrap_ci(values, "a", "b:c")
+
+
+def test_identical_columns_in_different_metrics_get_independent_cis():
+    """Two metrics of one point with identical values must not share a
+    resample stream — their CIs come from independently-seeded bootstraps."""
+    from repro.analysis.report import bootstrap_ci
+
+    values = [3.0, 7.0, 1.0, 12.0, 5.0]
+    first = bootstrap_ci(values, "point[x=1]", "amortized_msgs")
+    second = bootstrap_ci(values, "point[x=1]", "max_stretch")
+    assert first != second
+    # ... while the same (point, metric) pair is reproducible.
+    assert first == bootstrap_ci(values, "point[x=1]", "amortized_msgs")
+
+
 def test_report_is_memory_bounded(monkeypatch):
     """The reader must stream lines, never load whole artifact files."""
     import repro.analysis.report as report_module

@@ -371,6 +371,56 @@ def test_cost_ordering_falls_back_gracefully_without_costs():
     assert order_most_expensive_first(specs, fingerprints, completed, [1, 2, 3]) == [1, 2, 3]
 
 
+def test_cost_ordering_ignores_poisoned_costs():
+    """ISSUE 10 bugfix: a torn or hand-edited index line can carry any JSON
+    number — NaN, inf, or a negative wall clock — and one such entry used
+    to hijack the whole resume schedule (inf pins its neighbors first, NaN
+    poisons every mean it touches)."""
+    specs = SWEEP.expand()
+    fingerprints = [spec.fingerprint() for spec in specs]
+    # Grid order: 0: kappa=2,t=3  1: kappa=2,t=5  2: kappa=4,t=3  3: kappa=4,t=5
+    for poison in (float("inf"), float("nan"), -5.0):
+        completed = {
+            fingerprints[0]: {"artifact": "a", "wall_clock_s": 9.0},
+            fingerprints[1]: {"artifact": "b", "wall_clock_s": poison},
+        }
+        # The poisoned neighbor is ignored: point 3 falls back to the mean
+        # of the finite costs (9.0), point 2 estimates from its clean
+        # neighbor (9.0) — a tie, so submission order is kept.
+        assert order_most_expensive_first(specs, fingerprints, completed, [2, 3]) == [2, 3]
+    # Sanity: the same shape with a *finite* expensive neighbor still reorders.
+    completed = {
+        fingerprints[0]: {"artifact": "a", "wall_clock_s": 1.0},
+        fingerprints[1]: {"artifact": "b", "wall_clock_s": 9.0},
+    }
+    assert order_most_expensive_first(specs, fingerprints, completed, [2, 3]) == [3, 2]
+
+
+def test_resume_with_a_poisoned_index_still_converges(tmp_path, monkeypatch):
+    """End to end: non-finite recorded costs must not break or reorder a
+    resume, and the finished directory is byte-identical regardless."""
+    import repro.scenarios.runner as runner_module
+
+    specs = SWEEP.expand()
+    full = run_scenarios(specs, stream_to=tmp_path / "full")
+    pristine = canonical_files(full.directory)
+    run_scenarios(specs[:2], stream_to=tmp_path / "crash")
+    _rewrite_costs(
+        tmp_path / "crash" / INDEX_NAME,
+        {specs[0].label: float("nan"), specs[1].label: float("inf")},
+    )
+    order = []
+    real = runner_module.execute_spec
+    monkeypatch.setattr(
+        runner_module, "execute_spec", lambda spec: order.append(spec.name) or real(spec)
+    )
+    resumed = run_scenarios(specs, resume=tmp_path / "crash")
+    # No usable cost survives the guard -> deterministic submission order.
+    assert order == [specs[2].name, specs[3].name]
+    assert resumed.executed == 2 and resumed.skipped == 2
+    assert canonical_files(resumed.directory) == pristine
+
+
 def test_legacy_index_without_cost_columns_still_resumes(tmp_path):
     """Directories from before the cost columns must resume untouched."""
     specs = SWEEP.expand()
@@ -389,3 +439,39 @@ def test_legacy_index_without_cost_columns_still_resumes(tmp_path):
     resumed = run_scenarios(specs, resume=tmp_path / "dir")
     assert resumed.executed == 1 and resumed.skipped == len(specs) - 1
     assert canonical_files(resumed.directory) == pristine
+
+
+def test_zero_step_point_records_null_step_cost(tmp_path):
+    """ISSUE 10 bugfix: a run whose first adversary batch is empty executes
+    zero steps; its per-step cost is undefined (``None``), not a
+    ZeroDivisionError or inf — end to end through index, manifest, report."""
+    from repro.analysis.report import generate_report
+
+    trace = tmp_path / "empty-trace.jsonl"
+    trace.write_text("")
+    spec = BASE.with_overrides(
+        name="zero-steps",
+        adversary="trace-replay",
+        adversary_kwargs={"path": str(trace)},
+    )
+    result = run_scenarios([spec], stream_to=tmp_path / "dir")
+    entry = json.loads(result.index_path.read_text())
+    assert entry["timesteps"] == 0
+    assert entry["wall_clock_s"] > 0
+    assert entry["step_cost_s"] is None
+    manifest = json.loads(result.manifest_path.read_text())
+    assert manifest["entries"][0]["step_cost_s"] is None
+    report = generate_report(tmp_path / "dir", include_timeline=False)
+    assert "zero-steps" in report.markdown
+
+
+def test_index_timesteps_column_records_executed_steps(tmp_path):
+    """The cost denominator is steps *executed*, not steps requested: a run
+    cut short by graph exhaustion must not understate its per-step cost."""
+    result = run_scenarios(SWEEP.expand()[:1], stream_to=tmp_path / "dir")
+    entry = json.loads(result.index_path.read_text())
+    record_steps = json.loads(
+        result.paths[0].read_text().splitlines()[1]
+    )["data"]["steps"]
+    assert entry["timesteps"] == record_steps
+    assert entry["step_cost_s"] == pytest.approx(entry["wall_clock_s"] / record_steps)
